@@ -1,0 +1,101 @@
+package robustsample
+
+// This file holds one benchmark per experiment in DESIGN.md's index
+// (E1-E16), each regenerating the corresponding table of EXPERIMENTS.md at
+// a reduced scale per iteration, plus end-to-end throughput benchmarks of
+// the public API. Run the full-scale tables with:
+//
+//	go run ./cmd/robustbench -all
+//
+// and individual ones with -exp E<n>.
+
+import (
+	"io"
+	"testing"
+
+	"robustsample/internal/bench"
+)
+
+// benchCfg is the per-iteration configuration: small but non-degenerate.
+func benchCfg() bench.Config {
+	return bench.Config{Seed: 1, Trials: 2, Scale: 0.05}
+}
+
+func runExp(b *testing.B, id string) {
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not found", id)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		exp.Run(cfg).Render(io.Discard)
+	}
+}
+
+func BenchmarkExpE1BernoulliRobustness(b *testing.B)   { runExp(b, "E1") }
+func BenchmarkExpE2ReservoirRobustness(b *testing.B)   { runExp(b, "E2") }
+func BenchmarkExpE3BernoulliAttack(b *testing.B)       { runExp(b, "E3") }
+func BenchmarkExpE4ReservoirAttack(b *testing.B)       { runExp(b, "E4") }
+func BenchmarkExpE5ContinuousRobustness(b *testing.B)  { runExp(b, "E5") }
+func BenchmarkExpE6QuantileSketches(b *testing.B)      { runExp(b, "E6") }
+func BenchmarkExpE7HeavyHitters(b *testing.B)          { runExp(b, "E7") }
+func BenchmarkExpE8RangeQueries(b *testing.B)          { runExp(b, "E8") }
+func BenchmarkExpE9CenterPoints(b *testing.B)          { runExp(b, "E9") }
+func BenchmarkExpE10MedianAttack(b *testing.B)         { runExp(b, "E10") }
+func BenchmarkExpE11StaticAdaptiveGap(b *testing.B)    { runExp(b, "E11") }
+func BenchmarkExpE12DistributedRouting(b *testing.B)   { runExp(b, "E12") }
+func BenchmarkExpE13ClusteringPipeline(b *testing.B)   { runExp(b, "E13") }
+func BenchmarkExpE14DeterministicCompare(b *testing.B) { runExp(b, "E14") }
+func BenchmarkExpE15MartingaleStructure(b *testing.B)  { runExp(b, "E15") }
+func BenchmarkExpE16WeightedReservoir(b *testing.B)    { runExp(b, "E16") }
+func BenchmarkExpE17ReservoirAblation(b *testing.B)    { runExp(b, "E17") }
+
+// Throughput of the public API's robust samplers on a benign stream.
+
+func BenchmarkRobustReservoirOffer(b *testing.B) {
+	p := Params{Eps: 0.1, Delta: 0.1, N: 1 << 20}
+	res := NewRobustReservoir(p, NewPrefixes(1<<20))
+	r := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Offer(int64(i), r)
+	}
+}
+
+func BenchmarkRobustBernoulliOffer(b *testing.B) {
+	p := Params{Eps: 0.1, Delta: 0.1, N: 1 << 20}
+	s := NewRobustBernoulli(p, NewPrefixes(1<<20))
+	r := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i), r)
+	}
+}
+
+// End-to-end adaptive game throughput (adversary + sampler + exact verdict).
+
+func BenchmarkAdaptiveGameEndToEnd(b *testing.B) {
+	sys := NewPrefixes(1 << 20)
+	root := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunGame(NewReservoir(200), NewStaticUniformAdversary(1<<20), sys, 5000, 0.2, root)
+	}
+}
+
+// Exact unbounded-universe attack throughput.
+
+func BenchmarkExactBisectionAttack(b *testing.B) {
+	root := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunBisectionAttackReservoir(10000, 20, root)
+	}
+}

@@ -1,0 +1,104 @@
+// Command quantiles reads integers (one per line) from stdin and prints
+// quantile estimates from three sketches side by side: the paper's robust
+// reservoir sample (Corollary 1.5), the deterministic Greenwald-Khanna
+// summary, and the randomized KLL sketch — together with exact values and
+// rank errors.
+//
+// Usage:
+//
+//	seq 1 100000 | shuf | quantiles -eps 0.02 -delta 0.05
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"math"
+
+	"robustsample/internal/core"
+	"robustsample/internal/quantile"
+	"robustsample/internal/rng"
+)
+
+func main() {
+	var (
+		eps      = flag.Float64("eps", 0.02, "rank error target")
+		delta    = flag.Float64("delta", 0.05, "failure probability for the robust sample")
+		universe = flag.Int64("universe", 1<<30, "assumed universe size |U| for Corollary 1.5 sizing")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	// Size the reservoir lazily once n is known would be ideal; the
+	// paper's formulas need n only for Bernoulli. Reservoir size is
+	// n-independent, so we can build it immediately.
+	k := core.ReservoirSize(core.Params{Eps: *eps, Delta: *delta, N: 1 << 62}, logOf(*universe))
+	sketches := []quantile.Sketch{
+		quantile.NewReservoirSketch(k, r.Split()),
+		quantile.NewGK(*eps),
+		quantile.NewKLL(max(4, 10*int(1.0 / *eps)), r.Split()),
+	}
+	exact := quantile.NewExact()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: skipping %q: %v\n", line, err)
+			continue
+		}
+		exact.Insert(v)
+		for _, s := range sketches {
+			s.Insert(v)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "quantiles: read error: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "quantiles: no input")
+		os.Exit(1)
+	}
+
+	fmt.Printf("n=%d  robust reservoir k=%d (Cor 1.5, |U|=%d)\n\n", n, k, *universe)
+	fmt.Printf("%-10s %12s", "quantile", "exact")
+	for _, s := range sketches {
+		fmt.Printf(" %18s", s.Name())
+	}
+	fmt.Println()
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		ev := exact.Quantile(q)
+		fmt.Printf("%-10.2f %12d", q, ev)
+		for _, s := range sketches {
+			got := s.Quantile(q)
+			// Displacement of the returned value's true rank from q*n.
+			rankErr := (exact.Rank(got) - q*float64(n)) / float64(n)
+			fmt.Printf(" %12d(%+.3f)", got, rankErr)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nspace: exact=%d", exact.Size())
+	for _, s := range sketches {
+		fmt.Printf("  %s=%d", s.Name(), s.Size())
+	}
+	fmt.Println()
+}
+
+func logOf(u int64) float64 {
+	if u < 2 {
+		return 0
+	}
+	return math.Log(float64(u))
+}

@@ -1,0 +1,65 @@
+// Command robustbench runs the experiment harness reproducing every
+// quantitative claim of "The Adversarial Robustness of Sampling"
+// (Ben-Eliezer & Yogev, PODS 2020). Each experiment prints one table;
+// EXPERIMENTS.md records the expected shape next to reference measurements.
+//
+// Usage:
+//
+//	robustbench -all                 # run every experiment at full scale
+//	robustbench -exp E3              # run a single experiment
+//	robustbench -list                # list experiment IDs and titles
+//	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7
+//	robustbench -fig F1              # ASCII error-trajectory figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustsample/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		exp    = flag.String("exp", "", "run a single experiment by ID (E1..E17)")
+		fig    = flag.String("fig", "", "render a figure by ID (F1, F2)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		seed   = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
+		trials = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
+		scale  = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		for _, f := range bench.Figures() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+	case *fig != "":
+		f, ok := bench.FigureByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "robustbench: unknown figure %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		f.Render(cfg).Render(os.Stdout)
+	case *all:
+		bench.RunAll(cfg, os.Stdout)
+	case *exp != "":
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "robustbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		e.Run(cfg).Render(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,51 @@
+// Distributed: the Section 1.2 distributed-database illustration.
+//
+// Queries are load-balanced uniformly across K servers, so each server sees
+// a Bernoulli(1/K) sample of the workload. Is that sample representative —
+// even when the workload drifts, or when an adaptive client deliberately
+// tries to skew what one server sees?
+//
+// The example measures each server's Kolmogorov-Smirnov distance from the
+// full stream under four workloads and compares against the Theorem 1.2
+// prediction. The punchline: the only workload that breaks a server needs
+// query precision beyond any bounded universe — with realistic
+// (hash-discretized) queries, Theorem 1.2 caps the damage.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"robustsample/internal/distsim"
+	"robustsample/internal/rng"
+)
+
+func main() {
+	const (
+		k        = 8
+		n        = 40000
+		universe = int64(1) << 20
+	)
+	predicted := distsim.PredictedEps(k, n, math.Log(float64(universe)), 0.1)
+	fmt.Printf("K=%d servers, n=%d queries, universe=2^20\n", k, n)
+	fmt.Printf("Theorem 1.2 prediction (p=1/K): per-server KS <= %.4f whp\n\n", predicted)
+
+	root := rng.New(3)
+	runs := []struct {
+		name string
+		out  distsim.Outcome
+	}{
+		{"uniform workload   ", distsim.RunUniform(k, n, universe, root.Split())},
+		{"drifting workload  ", distsim.RunDrift(k, n, universe, root.Split())},
+		{"adaptive, unbounded", distsim.RunAdaptiveAttack(k, n, root.Split())},
+		{"adaptive, bounded U", distsim.RunBoundedAdaptiveAttack(k, n, universe, root.Split())},
+	}
+	fmt.Printf("%-22s %-12s %-12s\n", "workload", "server0 KS", "max KS")
+	for _, r := range runs {
+		fmt.Printf("%-22s %-12.4f %-12.4f\n", r.name, r.out.TargetKS, r.out.MaxKS)
+	}
+	fmt.Printf("\nunbounded adaptive client approaches KS = 1 - 1/K = %.3f;\n", 1-1.0/k)
+	fmt.Println("bounded-universe rows stay within the Theorem 1.2 prediction.")
+}

@@ -1,0 +1,65 @@
+// Quantiles: Corollary 1.5 robust quantile estimation.
+//
+// A reservoir sample of size k = 2 (ln|U| + ln(2/delta)) / eps^2 answers
+// every rank/quantile query within eps*n, simultaneously, with probability
+// 1-delta — even on adversarially chosen streams. This example compares
+// the robust sample against the deterministic Greenwald-Khanna summary and
+// the (static-optimal) KLL sketch on a heavy-tailed stream.
+//
+// Run: go run ./examples/quantiles
+package main
+
+import (
+	"fmt"
+
+	"robustsample/internal/core"
+	"robustsample/internal/quantile"
+	"robustsample/internal/rng"
+)
+
+func main() {
+	const (
+		n        = 100000
+		universe = int64(1) << 20
+		eps      = 0.02
+		delta    = 0.05
+	)
+	k := core.QuantileSketchSize(core.Params{Eps: eps, Delta: delta, N: n}, universe)
+	fmt.Printf("Corollary 1.5 reservoir size k = %d (eps=%.2f delta=%.2f |U|=2^20)\n\n", k, eps, delta)
+
+	root := rng.New(5)
+	sketches := []quantile.Sketch{
+		quantile.NewReservoirSketch(k, root.Split()),
+		quantile.NewGK(eps),
+		quantile.NewKLL(500, root.Split()),
+	}
+	exact := quantile.NewExact()
+
+	// Heavy-tailed workload: Zipf ranks mapped across the universe.
+	z := rng.NewZipf(1<<20, 1.1)
+	r := root.Split()
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = z.Draw(r)
+		exact.Insert(stream[i])
+		for _, s := range sketches {
+			s.Insert(stream[i])
+		}
+	}
+
+	fmt.Printf("%-10s %10s %18s %18s %18s\n", "quantile", "exact", sketches[0].Name(), sketches[1].Name(), sketches[2].Name())
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("%-10.2f %10d", q, exact.Quantile(q))
+		for _, s := range sketches {
+			v := s.Quantile(q)
+			displ := (exact.Rank(v) - q*float64(n)) / float64(n)
+			fmt.Printf(" %12d(%+.3f)", v, displ)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nall-quantiles max rank error (target eps=%.3f):\n", eps)
+	for _, s := range sketches {
+		fmt.Printf("  %-18s err=%.4f space=%d\n", s.Name(), quantile.MaxRankError(s, stream), s.Size())
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: maintain an adversarially robust sample of a stream.
+//
+// This example sizes a reservoir per Theorem 1.2 of "The Adversarial
+// Robustness of Sampling" (Ben-Eliezer & Yogev, PODS 2020), feeds it a
+// stream, and verifies the sample is an eps-approximation of the stream
+// with respect to all prefix ranges — the guarantee that would hold (with
+// probability 1-delta) even if every element had been chosen by an
+// adversary watching the sample.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"robustsample"
+)
+
+func main() {
+	const (
+		n        = 50000
+		universe = int64(1) << 20
+	)
+	params := robustsample.Params{Eps: 0.05, Delta: 0.01, N: n}
+	sys := robustsample.NewPrefixes(universe)
+
+	// Theorem 1.2: k = 2 (ln|R| + ln(2/delta)) / eps^2.
+	res := robustsample.NewRobustReservoir(params, sys)
+	fmt.Printf("robust reservoir size k = %d (Theorem 1.2, ln|R| = %.1f)\n",
+		res.K, sys.LogCardinality())
+
+	// Feed a stream. Here it is a skewed static workload; the guarantee
+	// would be the same against any adaptive choice.
+	r := robustsample.NewRNG(42)
+	stream := make([]int64, n)
+	for i := range stream {
+		// Mixture: mostly low values, occasional high spikes.
+		if r.Bernoulli(0.8) {
+			stream[i] = 1 + r.Int63n(universe/8)
+		} else {
+			stream[i] = universe/2 + r.Int63n(universe/2)
+		}
+		res.Offer(stream[i], r)
+	}
+
+	d := sys.MaxDiscrepancy(stream, res.View())
+	fmt.Printf("sample size |S| = %d\n", res.Len())
+	fmt.Printf("exact approximation error = %.4f (target eps = %.2f)\n", d.Err, params.Eps)
+	fmt.Printf("worst range = [%d, %d]\n", d.Lo, d.Hi)
+	if robustsample.IsEpsApproximation(sys, stream, res.View(), params.Eps) {
+		fmt.Println("sample IS an eps-approximation of the stream ✓")
+	} else {
+		fmt.Println("sample is NOT an eps-approximation (probability <= delta)")
+	}
+}

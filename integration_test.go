@@ -1,0 +1,197 @@
+package robustsample
+
+// Integration tests exercising full pipelines across modules: parameter
+// selection -> adaptive game -> exact verdict, and the end-to-end shapes of
+// the paper's headline claims at reduced scale. Statistical assertions use
+// fixed seeds and generous slack so they are deterministic and non-flaky.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTheorem12EndToEnd plays the full adaptive game at the Theorem 1.2
+// reservoir size against every public adversary and checks the failure rate
+// stays near delta.
+func TestTheorem12EndToEnd(t *testing.T) {
+	const n = 3000
+	universe := int64(1) << 18
+	p := Params{Eps: 0.25, Delta: 0.15, N: n}
+	sys := NewPrefixes(universe)
+	k := ReservoirSize(p, sys.LogCardinality())
+
+	for _, mkAdv := range []func() Adversary{
+		func() Adversary { return NewStaticUniformAdversary(universe) },
+		func() Adversary { return NewBisectionAttack(universe, math.Log(float64(n))/float64(n)) },
+	} {
+		est := EstimateRobustness(
+			func() Sampler { return NewReservoir(k) },
+			mkAdv, sys, p, 20, NewRNG(101),
+		)
+		if est.Failure.Rate() > p.Delta+0.2 {
+			t.Fatalf("robust reservoir failed %v of games vs %s",
+				est.Failure.Rate(), mkAdv().Name())
+		}
+	}
+}
+
+// TestTheorem13EndToEnd verifies the attack's exact law: the prefix error
+// equals 1 - |S|/n when the sample is non-empty.
+func TestTheorem13EndToEnd(t *testing.T) {
+	const n = 3000
+	r := NewRNG(202)
+	for trial := 0; trial < 10; trial++ {
+		res := RunBisectionAttackBernoulli(n, 0.01, r)
+		if len(res.Sample) == 0 {
+			continue
+		}
+		d := NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
+		want := 1 - float64(len(res.Sample))/float64(n)
+		if math.Abs(d.Err-want) > 1e-9 {
+			t.Fatalf("attack error %v, exact law predicts %v", d.Err, want)
+		}
+	}
+}
+
+// TestTheorem14EndToEnd checks the continuous game at the Theorem 1.4 size:
+// every checkpoint prefix must be an eps-approximation in most trials.
+func TestTheorem14EndToEnd(t *testing.T) {
+	const n = 2000
+	universe := int64(1) << 16
+	p := Params{Eps: 0.3, Delta: 0.15, N: n}
+	sys := NewPrefixes(universe)
+	k := ContinuousReservoirSize(p, sys.LogCardinality())
+	cps := Checkpoints(k, n, p.Eps/4)
+
+	fails := 0
+	root := NewRNG(303)
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		res := RunContinuousGame(NewReservoir(k), NewStaticUniformAdversary(universe),
+			sys, n, p.Eps, cps, root)
+		if !res.OK {
+			fails++
+		}
+		// The trajectory must include the final round.
+		last := res.PrefixErrors[len(res.PrefixErrors)-1]
+		if last.Round != n {
+			t.Fatalf("final round missing from trajectory")
+		}
+	}
+	if float64(fails)/trials > p.Delta+0.25 {
+		t.Fatalf("continuous robustness failed %d/%d trials", fails, trials)
+	}
+}
+
+// TestCrossoverShape reproduces the E11 crossover at small scale: under the
+// unbounded attack, the sample lies among the k' ~ k(1+ln(n/k)) smallest
+// elements, so a reservoir with k(1+ln(n/k)) << n/2 is broken while one
+// with k(1+ln(n/k)) >> n/2 is not.
+func TestCrossoverShape(t *testing.T) {
+	const n = 4000
+	// Solve k(1+ln(n/k)) = n/2 by scan.
+	crossover := 1.0
+	for k := 1.0; k < n; k++ {
+		if k*(1+math.Log(n/k)) >= n/2 {
+			crossover = k
+			break
+		}
+	}
+	small := int(crossover / 4)
+	large := int(crossover * 4)
+	if large > n {
+		large = n
+	}
+	root := NewRNG(404)
+	meanErr := func(k int) float64 {
+		sum := 0.0
+		const trials = 8
+		for i := 0; i < trials; i++ {
+			res := RunBisectionAttackReservoir(n, k, root)
+			d := NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
+			sum += d.Err
+		}
+		return sum / trials
+	}
+	if e := meanErr(small); e < 0.5 {
+		t.Fatalf("below-crossover k=%d should be broken, mean err %v", small, e)
+	}
+	if e := meanErr(large); e > 0.5 {
+		t.Fatalf("above-crossover k=%d should survive, mean err %v", large, e)
+	}
+}
+
+// TestSampleSizeMonotonicity: robust sizes behave monotonically in their
+// arguments across the public calculators.
+func TestSampleSizeMonotonicity(t *testing.T) {
+	base := Params{Eps: 0.1, Delta: 0.1, N: 1 << 30}
+	logR := 20.0
+	if ReservoirSize(Params{Eps: 0.05, Delta: 0.1, N: base.N}, logR) <= ReservoirSize(base, logR) {
+		t.Fatal("smaller eps must need larger k")
+	}
+	if ReservoirSize(Params{Eps: 0.1, Delta: 0.01, N: base.N}, logR) <= ReservoirSize(base, logR) {
+		t.Fatal("smaller delta must need larger k")
+	}
+	if ReservoirSize(base, 40) <= ReservoirSize(base, logR) {
+		t.Fatal("larger ln|R| must need larger k")
+	}
+	if BernoulliRate(base, 40) <= BernoulliRate(base, logR) {
+		t.Fatal("larger ln|R| must need larger p")
+	}
+	if ContinuousReservoirSize(base, logR) <= ReservoirSize(base, logR) {
+		t.Fatal("continuous robustness must cost more")
+	}
+}
+
+// TestGameAdversaryCannotCheatVerdict: whatever the adversary does, the
+// verdict is computed on the true stream — check the stream recorded by the
+// game matches what the verdict used via the exact law of densities.
+func TestGameVerdictConsistency(t *testing.T) {
+	universe := int64(1 << 14)
+	res := RunGame(NewReservoir(64), NewStaticUniformAdversary(universe),
+		NewIntervals(universe), 1500, 0.4, NewRNG(505))
+	// Recompute the witness density gap by hand.
+	streamIn, sampleIn := 0, 0
+	for _, x := range res.Stream {
+		if x >= res.Discrepancy.Lo && x <= res.Discrepancy.Hi {
+			streamIn++
+		}
+	}
+	for _, x := range res.Sample {
+		if x >= res.Discrepancy.Lo && x <= res.Discrepancy.Hi {
+			sampleIn++
+		}
+	}
+	got := math.Abs(float64(streamIn)/float64(len(res.Stream)) -
+		float64(sampleIn)/float64(len(res.Sample)))
+	if math.Abs(got-res.Discrepancy.Err) > 1e-9 {
+		t.Fatalf("witness gap %v != reported %v", got, res.Discrepancy.Err)
+	}
+}
+
+// TestBernoulliVsReservoirAgreement: at matched expected sample sizes, the
+// two samplers achieve comparable approximation errors on the same
+// workload.
+func TestBernoulliVsReservoirAgreement(t *testing.T) {
+	const n = 10000
+	universe := int64(1 << 16)
+	sys := NewPrefixes(universe)
+	root := NewRNG(606)
+	k := 1000
+	p := float64(k) / n
+
+	errOf := func(mk func() Sampler) float64 {
+		sum := 0.0
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			res := RunGame(mk(), NewStaticUniformAdversary(universe), sys, n, 1, root)
+			sum += res.Discrepancy.Err
+		}
+		return sum / trials
+	}
+	be := errOf(func() Sampler { return NewBernoulli(p) })
+	re := errOf(func() Sampler { return NewReservoir(k) })
+	if be > 3*re+0.02 || re > 3*be+0.02 {
+		t.Fatalf("samplers disagree widely: bernoulli %v vs reservoir %v", be, re)
+	}
+}

@@ -1,0 +1,395 @@
+// Package adversary implements the adaptive strategies the paper analyzes
+// and the static baselines the experiments compare against.
+//
+// The centerpiece is the Figure-3 bisection attack of Section 5: the
+// adversary maintains a working range [a, b] inside the universe [1, N],
+// submits x = floor(a + (1-p')(b-a)), and moves a up to x when x is sampled
+// or b down to x when it is not. All previously sampled elements therefore
+// stay below all non-sampled ones (Claim 5.2), making the sample maximally
+// unrepresentative for the prefix set system.
+//
+// Static adversaries replay fixed workloads (uniform, sorted, Zipf,
+// constant) and model the non-adaptive setting of the classical VC bound.
+package adversary
+
+import (
+	"math"
+
+	"robustsample/internal/game"
+	"robustsample/internal/rng"
+)
+
+// Bisection is the Figure-3 attack. It is deterministic given the admission
+// feedback: the only information it uses is whether the previous element was
+// admitted, which the game exposes via Observation.LastAdmitted.
+type Bisection struct {
+	// Universe is N, the top of the ordered universe [1, N].
+	Universe int64
+	// PPrime is p' from Figure 3, the assumed admission rate; the split
+	// point is a + (1-p')(b-a).
+	PPrime float64
+
+	a, b      int64
+	exhausted bool
+}
+
+// NewBisectionBernoulli prepares the attack against BernoulliSample with
+// rate p over a stream of length n, setting p' = max(p, ln n / n) exactly as
+// Figure 3 does.
+func NewBisectionBernoulli(universe int64, n int, p float64) *Bisection {
+	pp := math.Max(p, math.Log(float64(n))/float64(n))
+	return newBisection(universe, pp)
+}
+
+// NewBisectionReservoir prepares the attack against ReservoirSample with
+// memory k over a stream of length n. The reservoir admits roughly
+// A = 2k ln n elements in total (Section 5); each admission shrinks the
+// working range by p' and each rejection by 1-p', so the precision cost is
+// minimized at p' = A/(A+n). Note that for interesting (n, k) this still
+// requires a universe far beyond int64 — use RunExactBisectionReservoir for
+// those regimes; this constructor exists for small-scale demonstrations.
+func NewBisectionReservoir(universe int64, n int, k int) *Bisection {
+	admissions := 2 * float64(k) * math.Log(float64(n))
+	pp := admissions / (admissions + float64(n))
+	if pp > 0.5 {
+		pp = 0.5
+	}
+	if floor := math.Log(float64(n)) / float64(n); pp < floor {
+		pp = floor
+	}
+	return newBisection(universe, pp)
+}
+
+// NewBisection prepares the attack with an explicit p'. The intro's median
+// attack is the special case p' = 1/2 (split at the midpoint).
+func NewBisection(universe int64, pPrime float64) *Bisection {
+	return newBisection(universe, pPrime)
+}
+
+func newBisection(universe int64, pPrime float64) *Bisection {
+	if universe < 2 {
+		panic("adversary: bisection needs universe size >= 2")
+	}
+	if pPrime <= 0 || pPrime >= 1 {
+		panic("adversary: bisection needs 0 < p' < 1")
+	}
+	bi := &Bisection{Universe: universe, PPrime: pPrime}
+	bi.Reset()
+	return bi
+}
+
+// Name implements game.Adversary.
+func (bi *Bisection) Name() string { return "bisection" }
+
+// Reset restores the full working range [1, N].
+func (bi *Bisection) Reset() {
+	bi.a, bi.b = 1, bi.Universe
+	bi.exhausted = false
+}
+
+// Exhausted reports whether the working range ran out of integer room at any
+// point during the game. Claim 5.1 guarantees this does not happen as long
+// as |S| < 2np' and N is large enough; the experiments record it to confirm.
+func (bi *Bisection) Exhausted() bool { return bi.exhausted }
+
+// Next implements game.Adversary, executing one step of Figure 3.
+func (bi *Bisection) Next(obs game.Observation, _ *rng.RNG) int64 {
+	if obs.Round > 1 {
+		// Fold in the feedback for the previous submission.
+		prev := obs.History[len(obs.History)-1]
+		if obs.LastAdmitted {
+			bi.a = prev
+		} else {
+			bi.b = prev
+		}
+	}
+	if bi.b-bi.a < 2 {
+		// No integer strictly between a and b remains; the attack has
+		// run out of precision (this is exactly the regime Theorem 1.3
+		// excludes by requiring N >= n^(6 ln n) scaled appropriately).
+		bi.exhausted = true
+		if bi.b > bi.a {
+			return bi.b
+		}
+		return bi.a
+	}
+	x := bi.a + int64(float64(bi.b-bi.a)*(1-bi.PPrime))
+	// Keep x strictly inside (a, b) so both feedback branches shrink the
+	// range, as Figure 3 assumes.
+	if x <= bi.a {
+		x = bi.a + 1
+	}
+	if x >= bi.b {
+		x = bi.b - 1
+	}
+	return x
+}
+
+// Static replays a fixed stream, modeling the classical non-adaptive
+// adversary: the whole input is committed before the game starts.
+type Static struct {
+	// StreamName labels the workload in tables.
+	StreamName string
+	// Gen produces the fixed stream for a game of length n. It is called
+	// once per game on Reset-then-first-Next.
+	Gen func(n int, r *rng.RNG) []int64
+
+	stream []int64
+}
+
+// Name implements game.Adversary.
+func (s *Static) Name() string { return "static-" + s.StreamName }
+
+// Reset discards the previously generated stream.
+func (s *Static) Reset() { s.stream = nil }
+
+// Next implements game.Adversary, generating the fixed stream lazily on the
+// first round and replaying it afterwards.
+func (s *Static) Next(obs game.Observation, r *rng.RNG) int64 {
+	if s.stream == nil {
+		s.stream = s.Gen(obs.N, r)
+		if len(s.stream) < obs.N {
+			panic("adversary: static generator produced short stream")
+		}
+	}
+	return s.stream[obs.Round-1]
+}
+
+// NewStaticUniform returns a static adversary whose stream is i.i.d. uniform
+// over [1, universe].
+func NewStaticUniform(universe int64) *Static {
+	return &Static{
+		StreamName: "uniform",
+		Gen: func(n int, r *rng.RNG) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = 1 + r.Int63n(universe)
+			}
+			return out
+		},
+	}
+}
+
+// NewStaticSorted returns a static adversary whose stream is an increasing
+// arithmetic sweep across [1, universe]; sorted inputs are the classical
+// hard case for naive prefix-based sampling.
+func NewStaticSorted(universe int64) *Static {
+	return &Static{
+		StreamName: "sorted",
+		Gen: func(n int, _ *rng.RNG) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = 1 + int64(i)*(universe-1)/int64(max(n-1, 1))
+			}
+			return out
+		},
+	}
+}
+
+// NewStaticZipf returns a static adversary with Zipf(s)-distributed values
+// over [1, support], the canonical skewed workload for the heavy-hitters
+// experiments. support must be within the rng Zipf table limit.
+func NewStaticZipf(support int64, s float64) *Static {
+	return &Static{
+		StreamName: "zipf",
+		Gen: func(n int, r *rng.RNG) []int64 {
+			z := rng.NewZipf(support, s)
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = z.Draw(r)
+			}
+			return out
+		},
+	}
+}
+
+// NewStaticConstant returns a static adversary that always submits v.
+func NewStaticConstant(v int64) *Static {
+	return &Static{
+		StreamName: "constant",
+		Gen: func(n int, _ *rng.RNG) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = v
+			}
+			return out
+		},
+	}
+}
+
+// RandomAdaptive submits i.i.d. uniform elements. It is "adaptive" only in
+// the trivial sense (it runs inside the adaptive game but ignores the
+// state); it serves as the null baseline separating adaptivity from mere
+// randomness.
+type RandomAdaptive struct {
+	// Universe is N.
+	Universe int64
+}
+
+// NewRandomAdaptive returns the null adaptive baseline over [1, universe].
+func NewRandomAdaptive(universe int64) *RandomAdaptive {
+	if universe < 1 {
+		panic("adversary: universe must be >= 1")
+	}
+	return &RandomAdaptive{Universe: universe}
+}
+
+// Name implements game.Adversary.
+func (a *RandomAdaptive) Name() string { return "random" }
+
+// Reset implements game.Adversary.
+func (a *RandomAdaptive) Reset() {}
+
+// Next implements game.Adversary.
+func (a *RandomAdaptive) Next(_ game.Observation, r *rng.RNG) int64 {
+	return 1 + r.Int63n(a.Universe)
+}
+
+// HHInflation attacks the heavy-hitters application (Corollary 1.6): it
+// tries to inflate the sample density of a single target value above the
+// reporting threshold while keeping its true stream density below
+// alpha - eps. Whenever the target's sample density is below the inflation
+// goal it submits the target; otherwise it submits cover traffic (fresh
+// noise values), adapting each round to the observed sample.
+type HHInflation struct {
+	// Target is the value whose sample density the attack inflates.
+	Target int64
+	// Universe bounds the noise values, drawn from [1, Universe].
+	Universe int64
+	// Goal is the sample density the attack tries to exceed (set it at
+	// or above the reporting threshold alpha).
+	Goal float64
+	// Budget caps the target's true stream density (keep it below
+	// alpha - eps so reporting the target is a correctness violation).
+	Budget float64
+
+	sent int // number of times the target was submitted
+}
+
+// NewHHInflation returns a heavy-hitter inflation attack.
+func NewHHInflation(target, universe int64, goal, budget float64) *HHInflation {
+	if universe < 2 {
+		panic("adversary: universe must be >= 2")
+	}
+	if goal <= 0 || goal > 1 || budget <= 0 || budget > 1 {
+		panic("adversary: goal and budget must be in (0, 1]")
+	}
+	return &HHInflation{Target: target, Universe: universe, Goal: goal, Budget: budget}
+}
+
+// Name implements game.Adversary.
+func (h *HHInflation) Name() string { return "hh-inflation" }
+
+// Reset implements game.Adversary.
+func (h *HHInflation) Reset() { h.sent = 0 }
+
+// Next implements game.Adversary.
+func (h *HHInflation) Next(obs game.Observation, r *rng.RNG) int64 {
+	// Current sample density of the target.
+	inSample := 0
+	for _, v := range obs.Sample {
+		if v == h.Target {
+			inSample++
+		}
+	}
+	sampleDensity := 0.0
+	if len(obs.Sample) > 0 {
+		sampleDensity = float64(inSample) / float64(len(obs.Sample))
+	}
+	withinBudget := float64(h.sent+1) <= h.Budget*float64(obs.N)
+	if sampleDensity < h.Goal && withinBudget {
+		h.sent++
+		return h.Target
+	}
+	// Cover traffic: uniform noise, re-drawn if it collides with the
+	// target.
+	for {
+		v := 1 + r.Int63n(h.Universe)
+		if v != h.Target {
+			return v
+		}
+	}
+}
+
+// MedianPusher is the introduction's adaptive median attack phrased over the
+// discrete universe: it tracks the sample's median and submits elements on
+// the opposite side of the stream median, dragging the two apart. It is a
+// weaker, heuristic cousin of Bisection used to show that even crude
+// adaptivity beats static streams.
+type MedianPusher struct {
+	// Universe is N.
+	Universe int64
+}
+
+// NewMedianPusher returns the heuristic median attack over [1, universe].
+func NewMedianPusher(universe int64) *MedianPusher {
+	if universe < 2 {
+		panic("adversary: universe must be >= 2")
+	}
+	return &MedianPusher{Universe: universe}
+}
+
+// Name implements game.Adversary.
+func (m *MedianPusher) Name() string { return "median-pusher" }
+
+// Reset implements game.Adversary.
+func (m *MedianPusher) Reset() {}
+
+// Next implements game.Adversary.
+func (m *MedianPusher) Next(obs game.Observation, r *rng.RNG) int64 {
+	if len(obs.Sample) == 0 {
+		return m.Universe / 2
+	}
+	// Median of the current sample (order statistics over the view).
+	med := medianOf(obs.Sample)
+	// Submit just above the sample median so that, if admitted, the
+	// sample median climbs; if not, the stream mass accumulates above
+	// the sample's view of the distribution anyway.
+	span := m.Universe - med
+	if span < 1 {
+		return m.Universe
+	}
+	return med + 1 + r.Int63n(span)
+}
+
+func medianOf(xs []int64) int64 {
+	cp := append([]int64(nil), xs...)
+	// Partial selection via sort; samples are small.
+	quickselectMedian(cp)
+	return cp[len(cp)/2]
+}
+
+func quickselectMedian(a []int64) {
+	k := len(a) / 2
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := partition(a, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partition(a []int64, lo, hi int) int {
+	pivot := a[(lo+hi)/2]
+	i, j := lo, hi
+	for {
+		for a[i] < pivot {
+			i++
+		}
+		for a[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		a[i], a[j] = a[j], a[i]
+		i++
+		j--
+	}
+}

@@ -1,0 +1,354 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"robustsample/internal/game"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+func TestBisectionSampledAreSmallest(t *testing.T) {
+	// Claim 5.2: at every point, all sampled elements are smaller than
+	// all non-sampled elements; hence the final Bernoulli sample is
+	// exactly the |S| smallest stream elements. The int64 attack only has
+	// enough precision at small n (see exact.go), so this runs at n=500.
+	const n = 500
+	universe := int64(1) << 62
+	p := 0.005
+	r := rng.New(1)
+	s := sampler.NewBernoulli[int64](p)
+	adv := NewBisectionBernoulli(universe, n, p)
+	res := game.Run(s, adv, setsystem.NewPrefixes(universe), n, 0.5, r)
+
+	if adv.Exhausted() {
+		t.Fatal("attack exhausted the universe; N too small for this n")
+	}
+	if len(res.Sample) == 0 {
+		t.Skip("degenerate: empty sample")
+	}
+	sampleSet := make(map[int64]bool, len(res.Sample))
+	maxSampled := int64(0)
+	for _, v := range res.Sample {
+		sampleSet[v] = true
+		if v > maxSampled {
+			maxSampled = v
+		}
+	}
+	for _, x := range res.Stream {
+		if !sampleSet[x] && x < maxSampled {
+			t.Fatalf("non-sampled element %d below max sampled %d", x, maxSampled)
+		}
+	}
+}
+
+func TestBisectionBreaksBernoulli(t *testing.T) {
+	// Theorem 1.3(1): with small p the prefix discrepancy exceeds 1/2
+	// with probability >= 1/2. Check the mean failure across trials in
+	// the int64-feasible regime.
+	const n = 500
+	universe := int64(1) << 62
+	p := 0.005
+	root := rng.New(2)
+	fails := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		s := sampler.NewBernoulli[int64](p)
+		adv := NewBisectionBernoulli(universe, n, p)
+		res := game.Run(s, adv, setsystem.NewPrefixes(universe), n, 0.5, r)
+		if res.Discrepancy.Err > 0.5 {
+			fails++
+		}
+	}
+	if fails < trials/2 {
+		t.Fatalf("attack broke only %d/%d trials", fails, trials)
+	}
+}
+
+func TestBisectionRangeInvariant(t *testing.T) {
+	// The working range never inverts and every submission lies inside.
+	const n = 300
+	universe := int64(1) << 62
+	r := rng.New(5)
+	adv := NewBisection(universe, 0.02)
+	s := sampler.NewBernoulli[int64](0.02)
+	res := game.Run(s, adv, setsystem.NewPrefixes(universe), n, 0.5, r)
+	for _, x := range res.Stream {
+		if x < 1 || x > universe {
+			t.Fatalf("submission %d outside universe", x)
+		}
+	}
+	if adv.Exhausted() {
+		t.Fatal("unexpected exhaustion with huge universe")
+	}
+}
+
+func TestBisectionExhaustionOnTinyUniverse(t *testing.T) {
+	// With a tiny universe the attack must run out of precision and
+	// report it rather than misbehave — this is the regime where
+	// Theorem 1.2 kicks in.
+	const n = 1000
+	universe := int64(64)
+	r := rng.New(6)
+	adv := NewBisectionBernoulli(universe, n, 0.1)
+	s := sampler.NewBernoulli[int64](0.1)
+	res := game.Run(s, adv, setsystem.NewPrefixes(universe), n, 0.5, r)
+	if !adv.Exhausted() {
+		t.Fatal("expected exhaustion on universe of size 64")
+	}
+	for _, x := range res.Stream {
+		if x < 1 || x > universe {
+			t.Fatalf("submission %d outside universe", x)
+		}
+	}
+}
+
+func TestBisectionConstructorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBisection(1, 0.5) },
+		func() { NewBisection(10, 0) },
+		func() { NewBisection(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBisectionPPrimeFloors(t *testing.T) {
+	n := 10000
+	adv := NewBisectionBernoulli(1<<40, n, 0)
+	want := math.Log(float64(n)) / float64(n)
+	if math.Abs(adv.PPrime-want) > 1e-15 {
+		t.Fatalf("p' = %v, want ln n / n = %v", adv.PPrime, want)
+	}
+	advR := NewBisectionReservoir(1<<40, 100, 1000)
+	if advR.PPrime != 0.5 {
+		t.Fatalf("reservoir p' should cap at 0.5, got %v", advR.PPrime)
+	}
+}
+
+func TestStaticAdversariesProduceValidStreams(t *testing.T) {
+	const n = 500
+	universe := int64(1000)
+	advs := []game.Adversary{
+		NewStaticUniform(universe),
+		NewStaticSorted(universe),
+		NewStaticZipf(universe, 1.2),
+		NewStaticConstant(7),
+	}
+	root := rng.New(7)
+	for _, adv := range advs {
+		r := root.Split()
+		s := sampler.NewReservoir[int64](10)
+		res := game.Run(s, adv, setsystem.NewPrefixes(universe), n, 0.5, r)
+		if len(res.Stream) != n {
+			t.Fatalf("%s: stream length %d", adv.Name(), len(res.Stream))
+		}
+		for _, x := range res.Stream {
+			if x < 1 || x > universe {
+				t.Fatalf("%s: value %d outside universe", adv.Name(), x)
+			}
+		}
+	}
+}
+
+func TestStaticSortedIsSorted(t *testing.T) {
+	adv := NewStaticSorted(1000)
+	r := rng.New(8)
+	s := sampler.NewBernoulli[int64](0)
+	res := game.Run(s, adv, setsystem.NewPrefixes(1000), 100, 0.5, r)
+	for i := 1; i < len(res.Stream); i++ {
+		if res.Stream[i] < res.Stream[i-1] {
+			t.Fatal("sorted stream not sorted")
+		}
+	}
+	if res.Stream[0] != 1 || res.Stream[99] != 1000 {
+		t.Fatalf("sweep endpoints %d..%d", res.Stream[0], res.Stream[99])
+	}
+}
+
+func TestStaticConstant(t *testing.T) {
+	adv := NewStaticConstant(7)
+	r := rng.New(9)
+	s := sampler.NewBernoulli[int64](0)
+	res := game.Run(s, adv, setsystem.NewPrefixes(10), 50, 0.5, r)
+	for _, x := range res.Stream {
+		if x != 7 {
+			t.Fatal("constant stream not constant")
+		}
+	}
+}
+
+func TestStaticRegeneratesAcrossGames(t *testing.T) {
+	adv := NewStaticUniform(100)
+	root := rng.New(10)
+	s := sampler.NewBernoulli[int64](0)
+	res1 := game.Run(s, adv, setsystem.NewPrefixes(100), 20, 0.5, root)
+	res2 := game.Run(s, adv, setsystem.NewPrefixes(100), 20, 0.5, root)
+	diff := false
+	for i := range res1.Stream {
+		if res1.Stream[i] != res2.Stream[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("static adversary replayed the same stream in a fresh game with fresh randomness")
+	}
+}
+
+func TestRandomAdaptiveRange(t *testing.T) {
+	adv := NewRandomAdaptive(50)
+	r := rng.New(11)
+	s := sampler.NewReservoir[int64](5)
+	res := game.Run(s, adv, setsystem.NewPrefixes(50), 200, 0.9, r)
+	for _, x := range res.Stream {
+		if x < 1 || x > 50 {
+			t.Fatalf("value %d outside universe", x)
+		}
+	}
+}
+
+func TestHHInflationRespectsBudget(t *testing.T) {
+	const n = 2000
+	target := int64(5)
+	budget := 0.05
+	adv := NewHHInflation(target, 1000, 0.2, budget)
+	r := rng.New(12)
+	s := sampler.NewReservoir[int64](20)
+	res := game.Run(s, adv, setsystem.NewSingletons(1000), n, 0.9, r)
+	count := 0
+	for _, x := range res.Stream {
+		if x == target {
+			count++
+		}
+	}
+	if float64(count) > budget*float64(n)+1 {
+		t.Fatalf("target sent %d times, budget %v", count, budget*n)
+	}
+}
+
+func TestHHInflationAdaptsToSample(t *testing.T) {
+	// Deterministic logic check of the strategy: it sends the target
+	// exactly when the observed sample density is below the goal and the
+	// budget allows, and cover traffic otherwise.
+	r := rng.New(13)
+	target := int64(5)
+	adv := NewHHInflation(target, 1000, 0.5, 0.5)
+	adv.Reset()
+
+	// Round 1: empty sample (density 0 < goal) => target.
+	obs := game.Observation{Round: 1, N: 10, Sample: nil}
+	if got := adv.Next(obs, r); got != target {
+		t.Fatalf("under-represented target not sent, got %d", got)
+	}
+	// Sample saturated with the target (density 1 >= goal) => noise.
+	obs = game.Observation{Round: 2, N: 10, Sample: []int64{5, 5, 5, 5}}
+	if got := adv.Next(obs, r); got == target {
+		t.Fatal("over-represented target was sent again")
+	}
+	// Under-represented again => target, until the budget runs dry.
+	obs = game.Observation{Round: 3, N: 10, Sample: []int64{1, 2, 3, 4}}
+	sent := 1 // one target already sent in round 1
+	for round := 3; round <= 10; round++ {
+		obs.Round = round
+		if adv.Next(obs, r) == target {
+			sent++
+		}
+	}
+	// Budget is 0.5 * N = 5 targets total.
+	if sent != 5 {
+		t.Fatalf("sent %d targets, budget allows exactly 5", sent)
+	}
+}
+
+func TestHHInflationValidates(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHHInflation(1, 1, 0.5, 0.5) },
+		func() { NewHHInflation(1, 10, 0, 0.5) },
+		func() { NewHHInflation(1, 10, 0.5, 0) },
+		func() { NewHHInflation(1, 10, 1.5, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedianPusherRuns(t *testing.T) {
+	adv := NewMedianPusher(1 << 20)
+	r := rng.New(14)
+	s := sampler.NewReservoir[int64](10)
+	res := game.Run(s, adv, setsystem.NewPrefixes(1<<20), 500, 0.9, r)
+	for _, x := range res.Stream {
+		if x < 1 || x > 1<<20 {
+			t.Fatalf("value %d outside universe", x)
+		}
+	}
+}
+
+func TestMedianPusherValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMedianPusher(1)
+}
+
+func TestMedianOf(t *testing.T) {
+	if m := medianOf([]int64{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %d, want 3", m)
+	}
+	if m := medianOf([]int64{2, 1, 4, 3}); m != 3 {
+		t.Fatalf("median of even = %d, want 3 (upper)", m)
+	}
+	if m := medianOf([]int64{9}); m != 9 {
+		t.Fatalf("median singleton = %d", m)
+	}
+}
+
+func TestAdversaryNames(t *testing.T) {
+	cases := map[string]game.Adversary{
+		"bisection":      NewBisection(100, 0.5),
+		"static-uniform": NewStaticUniform(10),
+		"static-sorted":  NewStaticSorted(10),
+		"random":         NewRandomAdaptive(10),
+		"hh-inflation":   NewHHInflation(1, 10, 0.5, 0.5),
+		"median-pusher":  NewMedianPusher(10),
+	}
+	for want, adv := range cases {
+		if adv.Name() != want {
+			t.Fatalf("name %q, want %q", adv.Name(), want)
+		}
+	}
+}
+
+func BenchmarkBisectionGame(b *testing.B) {
+	root := rng.New(1)
+	universe := int64(1) << 50
+	const n = 10000
+	p := 0.005
+	sys := setsystem.NewPrefixes(universe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := root.Split()
+		s := sampler.NewBernoulli[int64](p)
+		adv := NewBisectionBernoulli(universe, n, p)
+		game.Run(s, adv, sys, n, 0.5, r)
+	}
+}

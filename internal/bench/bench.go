@@ -1,0 +1,189 @@
+// Package bench is the experiment harness that regenerates every
+// quantitative claim of the paper as a table (the paper is theory-only, so
+// its "tables and figures" are its theorems, corollaries, attack analyses
+// and worked applications; DESIGN.md Section 5 maps each to an experiment ID
+// E1-E17 and EXPERIMENTS.md records expected vs measured shapes).
+//
+// Each experiment is a pure function of a Config (root seed, trial count,
+// scale knob) producing a Table; tables print with aligned columns and
+// carry free-form notes stating the theoretical expectation next to the
+// measurement. All randomness derives from the root seed, so tables are
+// reproducible bit-for-bit.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed is the root RNG seed; every trial splits from it.
+	Seed uint64
+	// Trials is the number of independent game repetitions per row.
+	Trials int
+	// Scale multiplies stream lengths; 1.0 is the reference size used in
+	// EXPERIMENTS.md, smaller values give quick smoke runs.
+	Scale float64
+}
+
+// DefaultConfig is the reference configuration for EXPERIMENTS.md numbers.
+func DefaultConfig() Config {
+	return Config{Seed: 20200614, Trials: 40, Scale: 1.0}
+}
+
+// scaled returns max(lo, int(n*Scale)).
+func (c Config) scaled(n, lo int) int {
+	v := int(float64(n) * c.Scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// trials returns max(1, Trials).
+func (c Config) trials() int {
+	if c.Trials < 1 {
+		return 1
+	}
+	return c.Trials
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (E1..E17).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Source cites the paper claim being reproduced.
+	Source string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes state the expected shape and any caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row; values are rendered with %v except
+// float64, which uses %.4g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   source: %s\n", t.Source)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "   %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	// ID is the EXPERIMENTS.md identifier.
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg Config) *Table
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Theorem 1.2: Bernoulli sampling is (eps,delta)-robust at the prescribed rate", ExpE1},
+		{"E2", "Theorem 1.2: reservoir sampling is (eps,delta)-robust at the prescribed size", ExpE2},
+		{"E3", "Theorem 1.3 / Section 5: bisection attack on Bernoulli sampling", ExpE3},
+		{"E4", "Theorem 1.3 / Section 5: bisection attack on reservoir sampling", ExpE4},
+		{"E5", "Theorem 1.4: continuous robustness of reservoir sampling", ExpE5},
+		{"E6", "Corollary 1.5: robust quantile sketches vs GK and KLL", ExpE6},
+		{"E7", "Corollary 1.6: heavy hitters under adaptive inflation", ExpE7},
+		{"E8", "Section 1.2: range queries over [m]^d grids", ExpE8},
+		{"E9", "Section 1.2: beta-center points from robust samples", ExpE9},
+		{"E10", "Section 1: the introduction's median attack", ExpE10},
+		{"E11", "Section 1.1: static-vs-adaptive sample-size gap and crossover", ExpE11},
+		{"E12", "Section 1.2: distributed query routing under adaptive clients", ExpE12},
+		{"E13", "Section 1.2: clustering acceleration via robust sampling", ExpE13},
+		{"E14", "Section 1.1: deterministic merge-reduce vs randomized sampling", ExpE14},
+		{"E15", "Section 4: martingale structure and Freedman-bound tightness", ExpE15},
+		{"E16", "Section 1.3: weighted reservoir sampling extension", ExpE16},
+		{"E17", "Ablation: reservoir variants (Algorithm R / Algorithm L / with-replacement)", ExpE17},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		return expOrder(exps[i].ID) < expOrder(exps[j].ID)
+	})
+	return exps
+}
+
+func expOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and renders the tables to w.
+func RunAll(cfg Config, w io.Writer) {
+	for _, e := range All() {
+		e.Run(cfg).Render(w)
+	}
+}

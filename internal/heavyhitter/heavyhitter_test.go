@@ -1,0 +1,394 @@
+package heavyhitter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robustsample/internal/rng"
+)
+
+// zipfStream produces a skewed stream with known heavy elements.
+func zipfStream(n int, r *rng.RNG) []int64 {
+	z := rng.NewZipf(10000, 1.3)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = z.Draw(r)
+	}
+	return out
+}
+
+func trueDensities(stream []int64) map[int64]float64 {
+	counts := make(map[int64]int)
+	for _, x := range stream {
+		counts[x]++
+	}
+	out := make(map[int64]float64, len(counts))
+	for x, c := range counts {
+		out[x] = float64(c) / float64(len(stream))
+	}
+	return out
+}
+
+func feed(s Summary, stream []int64) {
+	for _, x := range stream {
+		s.Insert(x)
+	}
+}
+
+func TestMisraGriesUndercountBound(t *testing.T) {
+	r := rng.New(1)
+	stream := zipfStream(50000, r)
+	mg := NewMisraGries(99)
+	feed(mg, stream)
+	slack := 1.0 / float64(mg.M+1)
+	for x, d := range trueDensities(stream) {
+		est := mg.EstimateDensity(x)
+		if est > d+1e-12 {
+			t.Fatalf("MG overestimated %d: %v > %v", x, est, d)
+		}
+		if est < d-slack-1e-12 {
+			t.Fatalf("MG underestimated %d beyond n/(M+1): %v < %v - %v", x, est, d, slack)
+		}
+	}
+	if mg.Size() > mg.M {
+		t.Fatalf("MG used %d counters, limit %d", mg.Size(), mg.M)
+	}
+}
+
+func TestSpaceSavingOvercountBound(t *testing.T) {
+	r := rng.New(2)
+	stream := zipfStream(50000, r)
+	ss := NewSpaceSaving(100)
+	feed(ss, stream)
+	slack := 1.0 / float64(ss.M)
+	dens := trueDensities(stream)
+	for x := range ss.counts {
+		est := ss.EstimateDensity(x)
+		d := dens[x]
+		if est < d-1e-12 {
+			t.Fatalf("SS underestimated tracked %d: %v < %v", x, est, d)
+		}
+		if est > d+slack+1e-12 {
+			t.Fatalf("SS overestimated %d beyond n/M: %v > %v + %v", x, est, d, slack)
+		}
+	}
+	if ss.Size() > ss.M {
+		t.Fatalf("SS used %d counters, limit %d", ss.Size(), ss.M)
+	}
+}
+
+func TestAllSummariesSatisfyContractOnStaticStream(t *testing.T) {
+	const n = 50000
+	alpha, eps := 0.05, 0.03
+	r := rng.New(3)
+	stream := zipfStream(n, r)
+	m := int(math.Ceil(3/eps)) + 1
+	summaries := []Summary{
+		NewSampleHH(8000, eps, r.Split()),
+		NewMisraGries(m),
+		NewSpaceSaving(m),
+	}
+	for _, s := range summaries {
+		feed(s, stream)
+		ev := Evaluate(stream, s.Report(alpha), alpha, eps)
+		if !ev.Correct() {
+			t.Fatalf("%s violated contract: %+v", s.Name(), ev)
+		}
+		if ev.TrueHeavy == 0 {
+			t.Fatal("degenerate test: no heavy elements")
+		}
+	}
+}
+
+func TestSampleHHReportsObviousHeavy(t *testing.T) {
+	r := rng.New(4)
+	s := NewSampleHH(1000, 0.1, r.Split())
+	const n = 20000
+	stream := make([]int64, n)
+	for i := range stream {
+		if i%2 == 0 {
+			stream[i] = 7 // density 0.5
+		} else {
+			stream[i] = 1 + r.Int63n(100000)
+		}
+	}
+	feed(s, stream)
+	rep := s.Report(0.3)
+	found := false
+	for _, x := range rep {
+		if x == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("element with density 0.5 not reported: %v", rep)
+	}
+}
+
+func TestSampleHHEmpty(t *testing.T) {
+	r := rng.New(5)
+	s := NewSampleHH(10, 0.1, r)
+	if s.Report(0.5) != nil {
+		t.Fatal("empty report should be nil")
+	}
+	if s.EstimateDensity(1) != 0 {
+		t.Fatal("empty density should be 0")
+	}
+}
+
+func TestSampleHHValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSampleHH(0, 0.1, rng.New(1)) },
+		func() { NewSampleHH(5, 0, rng.New(1)) },
+		func() { NewSampleHH(5, 1, rng.New(1)) },
+		func() { NewSampleHH(5, 0.1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMGSSValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMisraGries(0) },
+		func() { NewSpaceSaving(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReportsSortedAndDeduped(t *testing.T) {
+	r := rng.New(6)
+	stream := zipfStream(20000, r)
+	for _, s := range []Summary{
+		NewSampleHH(2000, 0.05, r.Split()),
+		NewMisraGries(200),
+		NewSpaceSaving(200),
+	} {
+		feed(s, stream)
+		rep := s.Report(0.02)
+		for i := 1; i < len(rep); i++ {
+			if rep[i] <= rep[i-1] {
+				t.Fatalf("%s: report not sorted/deduped: %v", s.Name(), rep)
+			}
+		}
+	}
+}
+
+func TestEvaluateSemantics(t *testing.T) {
+	// stream: value 1 has density 0.5 (heavy), value 2 density 0.3
+	// (band), value 3 density 0.2 (light) for alpha=0.4, eps=0.15.
+	stream := []int64{1, 1, 1, 1, 1, 2, 2, 2, 3, 3}
+	alpha, eps := 0.4, 0.15
+
+	// Perfect report.
+	ev := Evaluate(stream, []int64{1}, alpha, eps)
+	if !ev.Correct() || ev.TrueHeavy != 1 {
+		t.Fatalf("perfect report judged wrong: %+v", ev)
+	}
+	// Reporting the band element is allowed.
+	ev = Evaluate(stream, []int64{1, 2}, alpha, eps)
+	if !ev.Correct() {
+		t.Fatalf("band element should be allowed: %+v", ev)
+	}
+	// Reporting the light element is a false positive.
+	ev = Evaluate(stream, []int64{1, 3}, alpha, eps)
+	if ev.FalsePositives != 1 || ev.Correct() {
+		t.Fatalf("light element not flagged: %+v", ev)
+	}
+	// Missing the heavy element is a false negative.
+	ev = Evaluate(stream, nil, alpha, eps)
+	if ev.FalseNegatives != 1 || ev.Correct() {
+		t.Fatalf("missed heavy not flagged: %+v", ev)
+	}
+}
+
+func TestEvaluateBoundaryDensity(t *testing.T) {
+	// Density exactly alpha counts as heavy; exactly alpha-eps counts as
+	// forbidden.
+	stream := []int64{1, 1, 2, 3} // d(1)=0.5, d(2)=0.25
+	ev := Evaluate(stream, nil, 0.5, 0.25)
+	if ev.FalseNegatives != 1 {
+		t.Fatal("density == alpha must be required")
+	}
+	ev = Evaluate(stream, []int64{2}, 0.5, 0.25)
+	if ev.FalsePositives != 1 {
+		t.Fatal("density == alpha-eps must be forbidden")
+	}
+}
+
+func TestMGCountersNeverNegativeProperty(t *testing.T) {
+	r := rng.New(7)
+	f := func(nRaw uint16, mRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		m := int(mRaw%20) + 1
+		mg := NewMisraGries(m)
+		for i := 0; i < n; i++ {
+			mg.Insert(1 + r.Int63n(50))
+		}
+		for _, c := range mg.counters {
+			if c <= 0 {
+				return false
+			}
+		}
+		return mg.Size() <= m && mg.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSavingTotalMass(t *testing.T) {
+	// Sum of SS counters >= n is NOT generally true, but sum >= n is for
+	// full counters... the classical invariant is sum(counts) == n when
+	// the table never evicts, and sum >= n never holds after eviction;
+	// instead check sum <= n + n (loose) and that the max counter is at
+	// least n/M.
+	r := rng.New(8)
+	const n, m = 10000, 50
+	ss := NewSpaceSaving(m)
+	for i := 0; i < n; i++ {
+		ss.Insert(1 + r.Int63n(500))
+	}
+	maxC := 0
+	total := 0
+	for _, c := range ss.counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < n/m/2 {
+		t.Fatalf("max SS counter %d suspiciously small", maxC)
+	}
+	if total > 2*n {
+		t.Fatalf("SS counters sum to %d > 2n", total)
+	}
+}
+
+func BenchmarkMisraGriesInsert(b *testing.B) {
+	mg := NewMisraGries(100)
+	r := rng.New(1)
+	z := rng.NewZipf(10000, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.Insert(z.Draw(r))
+	}
+}
+
+func BenchmarkSpaceSavingInsert(b *testing.B) {
+	ss := NewSpaceSaving(100)
+	r := rng.New(1)
+	z := rng.NewZipf(10000, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Insert(z.Draw(r))
+	}
+}
+
+func BenchmarkSampleHHInsert(b *testing.B) {
+	r := rng.New(1)
+	s := NewSampleHH(1000, 0.1, r.Split())
+	z := rng.NewZipf(10000, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(z.Draw(r))
+	}
+}
+
+func TestStickySamplingNoFalseNegativesStatic(t *testing.T) {
+	// Static guarantee: every true heavy hitter is reported with
+	// probability >= 1-delta. Run repeated trials and check the FN rate.
+	const trials = 30
+	alpha, eps, delta := 0.1, 0.05, 0.05
+	root := rng.New(30)
+	fns := 0
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		ss := NewStickySampling(alpha, eps, delta, r.Split())
+		stream := zipfStream(30000, r)
+		feed(ss, stream)
+		ev := Evaluate(stream, ss.Report(alpha), alpha, eps)
+		if ev.TrueHeavy == 0 {
+			t.Fatal("degenerate workload")
+		}
+		if ev.FalseNegatives > 0 {
+			fns++
+		}
+	}
+	if rate := float64(fns) / trials; rate > delta+0.15 {
+		t.Fatalf("false-negative trial rate %v, want <= ~delta", rate)
+	}
+}
+
+func TestStickySamplingUndercounts(t *testing.T) {
+	r := rng.New(31)
+	ss := NewStickySampling(0.1, 0.05, 0.1, r.Split())
+	stream := zipfStream(30000, r)
+	feed(ss, stream)
+	for x, d := range trueDensities(stream) {
+		if est := ss.EstimateDensity(x); est > d+1e-12 {
+			t.Fatalf("sticky sampling overcounted %d: %v > %v", x, est, d)
+		}
+	}
+}
+
+func TestStickySamplingSpaceSublinear(t *testing.T) {
+	r := rng.New(32)
+	ss := NewStickySampling(0.05, 0.02, 0.1, r.Split())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ss.Insert(1 + r.Int63n(1<<20))
+	}
+	// Expected space is ~ (2/eps) log(1/(alpha*delta)), far below n.
+	if ss.Size() > n/20 {
+		t.Fatalf("sticky sampling stored %d counters for n=%d", ss.Size(), n)
+	}
+	if ss.Count() != n {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestStickySamplingValidation(t *testing.T) {
+	r := rng.New(33)
+	for _, f := range []func(){
+		func() { NewStickySampling(0, 0.1, 0.1, r) },
+		func() { NewStickySampling(0.2, 0.3, 0.1, r) }, // eps >= alpha
+		func() { NewStickySampling(0.2, 0.1, 0, r) },
+		func() { NewStickySampling(0.2, 0.1, 0.1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStickySamplingEmpty(t *testing.T) {
+	r := rng.New(34)
+	ss := NewStickySampling(0.1, 0.05, 0.1, r)
+	if ss.Report(0.1) != nil || ss.EstimateDensity(5) != 0 {
+		t.Fatal("empty summary should report nothing")
+	}
+	if ss.Name() != "sticky-sampling" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,119 @@
+package heavyhitter
+
+import (
+	"math"
+
+	"robustsample/internal/rng"
+)
+
+// StickySampling is the randomized frequent-elements algorithm of Manku and
+// Motwani: elements enter the counter table by sampling at a rate that
+// halves as the stream grows, and existing counters are probabilistically
+// trimmed at each rate change. In the static setting it guarantees no false
+// negatives at threshold alpha with probability 1-delta and counts that
+// undercount by at most eps*n.
+//
+// It is included as a contrast point: like the paper's samplers it is
+// randomized, but unlike them its analysis assumes a non-adaptive stream —
+// an adversary watching the counter table could time its insertions around
+// the sampling-rate boundaries. The deterministic baselines (MisraGries,
+// SpaceSaving) and the robust sample (SampleHH) both carry adversarial
+// guarantees; StickySampling does not.
+type StickySampling struct {
+	// Alpha, Eps, Delta are the reporting threshold, error and failure
+	// probability of the static guarantee.
+	Alpha, Eps, Delta float64
+
+	counts   map[int64]int
+	rng      *rng.RNG
+	n        int
+	rate     float64 // current sampling probability (1, 1/2, 1/4, ...)
+	boundary int     // stream length at which the rate next halves
+	window   int     // 2t, the width of each rate regime
+}
+
+// NewStickySampling returns a sticky-sampling summary. It panics on invalid
+// parameters.
+func NewStickySampling(alpha, eps, delta float64, r *rng.RNG) *StickySampling {
+	if alpha <= 0 || alpha > 1 || eps <= 0 || eps >= alpha || delta <= 0 || delta >= 1 {
+		panic("heavyhitter: need 0 < eps < alpha <= 1 and 0 < delta < 1")
+	}
+	if r == nil {
+		panic("heavyhitter: need an RNG")
+	}
+	t := int(math.Ceil(1 / eps * math.Log(1/(alpha*delta))))
+	if t < 1 {
+		t = 1
+	}
+	return &StickySampling{
+		Alpha:    alpha,
+		Eps:      eps,
+		Delta:    delta,
+		counts:   make(map[int64]int),
+		rng:      r,
+		rate:     1,
+		window:   2 * t,
+		boundary: 2 * t,
+	}
+}
+
+// Name implements Summary.
+func (ss *StickySampling) Name() string { return "sticky-sampling" }
+
+// Insert implements Summary.
+func (ss *StickySampling) Insert(x int64) {
+	ss.n++
+	if ss.n > ss.boundary {
+		// Halve the rate and trim counters: for each counter, toss an
+		// unbiased coin until heads, decrementing per tails; drop zeros.
+		ss.rate /= 2
+		ss.boundary += ss.window
+		for k, c := range ss.counts {
+			for c > 0 && ss.rng.Bernoulli(0.5) {
+				c--
+			}
+			if c == 0 {
+				delete(ss.counts, k)
+			} else {
+				ss.counts[k] = c
+			}
+		}
+	}
+	if _, ok := ss.counts[x]; ok {
+		ss.counts[x]++
+		return
+	}
+	if ss.rng.Bernoulli(ss.rate) {
+		ss.counts[x] = 1
+	}
+}
+
+// Report implements Summary: output counters with f >= (alpha - eps) n.
+func (ss *StickySampling) Report(alpha float64) []int64 {
+	if ss.n == 0 {
+		return nil
+	}
+	cut := (alpha - ss.Eps) * float64(ss.n)
+	var out []int64
+	for x, c := range ss.counts {
+		if float64(c) >= cut {
+			out = append(out, x)
+		}
+	}
+	sortInt64(out)
+	return out
+}
+
+// EstimateDensity implements Summary (an undercount in expectation).
+func (ss *StickySampling) EstimateDensity(x int64) float64 {
+	if ss.n == 0 {
+		return 0
+	}
+	return float64(ss.counts[x]) / float64(ss.n)
+}
+
+// Count implements Summary.
+func (ss *StickySampling) Count() int { return ss.n }
+
+// Size implements Summary.
+func (ss *StickySampling) Size() int { return len(ss.counts) }

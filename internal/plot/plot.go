@@ -1,0 +1,165 @@
+// Package plot renders small ASCII line charts for the experiment harness.
+// The paper's own figures are definitions and pseudocode (Figures 1-3),
+// which this repository reproduces as code; the quantitative "figures" worth
+// drawing are the error trajectories of the continuous game (Theorem 1.4)
+// and of attacks, which robustbench renders with this package so a terminal
+// user can see the shape without external tooling.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points (equal lengths).
+	X, Y []float64
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions in characters;
+	// defaults 72x16 when zero.
+	Width, Height int
+	// Series are the lines to draw; each uses a distinct marker.
+	Series []Series
+	// HLines are horizontal reference lines (e.g. an eps threshold),
+	// drawn with '-' and labeled in the legend.
+	HLines []HLine
+}
+
+// HLine is a horizontal reference line.
+type HLine struct {
+	Name string
+	Y    float64
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes the chart to w. Empty charts (no finite points) render a
+// placeholder note.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	// Determine bounds over all series and hlines.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	for _, h := range c.HLines {
+		minY = math.Min(minY, h.Y)
+		maxY = math.Max(maxY, h.Y)
+	}
+	if points == 0 {
+		fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	toRow := func(y float64) int {
+		row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for _, h := range c.HLines {
+		row := toRow(h.Y)
+		for col := 0; col < width; col++ {
+			grid[row][col] = '-'
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = m
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*.4g%*.4g  %s\n",
+		strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, c.XLabel)
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	for _, h := range c.HLines {
+		legend = append(legend, fmt.Sprintf("- %s", h.Name))
+	}
+	if c.YLabel != "" {
+		legend = append(legend, "y: "+c.YLabel)
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(legend, " | "))
+	}
+}

@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "round",
+		YLabel: "error",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}},
+		},
+		HLines: []HLine{{Name: "eps", Y: 0.25}},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"test chart", "round", "error", "legend", "* a", "- eps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "-") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	c := &Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, math.NaN(), 2}, Y: []float64{1, 5, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate Y range must not divide by zero.
+	c := &Chart{
+		Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{3, 3}}},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := &Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderCustomDimensions(t *testing.T) {
+	c := &Chart{
+		Width:  20,
+		Height: 5,
+		Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend.
+	if len(lines) < 7 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), buf.String())
+	}
+}

@@ -1,0 +1,53 @@
+package quantile
+
+import "testing"
+
+// FuzzGKInvariant feeds arbitrary insertion orders into the GK summary and
+// checks its structural invariant plus rank sanity after every batch.
+func FuzzGKInvariant(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 512 {
+			return
+		}
+		g := NewGK(0.1)
+		var min, max int64 = 256, -1
+		for _, b := range data {
+			v := int64(b)
+			g.Insert(v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if !g.InvariantHolds() {
+			t.Fatalf("GK invariant violated after %v", data)
+		}
+		if g.Count() != len(data) {
+			t.Fatalf("count %d != %d", g.Count(), len(data))
+		}
+		// Rank is monotone and hits the endpoints.
+		if g.Rank(min-1) != 0 {
+			t.Fatalf("rank below min = %v", g.Rank(min-1))
+		}
+		if got := g.Rank(max); got != float64(len(data)) {
+			t.Fatalf("rank at max = %v, want %d", got, len(data))
+		}
+		// The midpoint estimate may dip by up to the uncertainty band
+		// (2*eps*n) between adjacent values while staying within the
+		// GK guarantee; anything larger is a bug.
+		band := 2*g.Eps*float64(g.Count()) + 1
+		prev := -band
+		for v := min; v <= max; v++ {
+			r := g.Rank(v)
+			if r < prev-band {
+				t.Fatalf("rank dipped more than the uncertainty band at %d: %v -> %v", v, prev, r)
+			}
+			prev = r
+		}
+	})
+}

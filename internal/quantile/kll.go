@@ -1,0 +1,186 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+
+	"robustsample/internal/rng"
+)
+
+// KLL is the randomized compactor-based quantile sketch of Karnin, Lang and
+// Liberty [KLL16], the asymptotically optimal static sketch the paper cites.
+// Each level h holds a buffer; when a buffer fills, it is sorted and either
+// its odd- or even-indexed half (chosen by a fair coin) is promoted to level
+// h+1, doubling the weight. Capacities shrink geometrically with depth
+// (ratio 2/3) so total space is O(k).
+//
+// KLL's guarantee is for a stream fixed in advance. Against the adaptive
+// adversary of the paper it has no known robustness guarantee; the
+// experiments include it to contrast "optimal static" with "robust".
+type KLL struct {
+	// K is the top-level capacity parameter; rank error is O(1/K) with
+	// high probability in the static setting.
+	K int
+
+	levels [][]int64
+	rng    *rng.RNG
+	n      int
+}
+
+// NewKLL returns an empty KLL sketch with parameter k, drawing compaction
+// coins from r. It panics unless k >= 4.
+func NewKLL(k int, r *rng.RNG) *KLL {
+	if k < 4 {
+		panic("quantile: KLL needs k >= 4")
+	}
+	if r == nil {
+		panic("quantile: KLL needs an RNG")
+	}
+	return &KLL{K: k, rng: r, levels: make([][]int64, 1)}
+}
+
+// Name implements Sketch.
+func (s *KLL) Name() string { return "kll" }
+
+// capacityAt returns the buffer capacity of level h counted from the top
+// (level 0 is the raw-input level; deeper levels are higher h meaning the
+// weightier compacted data). Capacity shrinks from K by factor 2/3 per
+// level away from the highest level, floored at 2.
+func (s *KLL) capacityAt(h int) int {
+	top := len(s.levels) - 1
+	c := float64(s.K) * math.Pow(2.0/3.0, float64(top-h))
+	if c < 2 {
+		return 2
+	}
+	return int(math.Ceil(c))
+}
+
+// Insert implements Sketch.
+func (s *KLL) Insert(x int64) {
+	s.n++
+	s.levels[0] = append(s.levels[0], x)
+	for h := 0; h < len(s.levels); h++ {
+		if len(s.levels[h]) <= s.capacityAt(h) {
+			break
+		}
+		s.compact(h)
+	}
+}
+
+// compact halves level h into level h+1.
+func (s *KLL) compact(h int) {
+	buf := s.levels[h]
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	offset := 0
+	if s.rng.Bernoulli(0.5) {
+		offset = 1
+	}
+	if h+1 == len(s.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	for i := offset; i < len(buf); i += 2 {
+		s.levels[h+1] = append(s.levels[h+1], buf[i])
+	}
+	s.levels[h] = s.levels[h][:0]
+}
+
+// Rank implements Sketch: each element at level h carries weight 2^h.
+func (s *KLL) Rank(x int64) float64 {
+	total := 0.0
+	weight := 1.0
+	for _, level := range s.levels {
+		for _, v := range level {
+			if v <= x {
+				total += weight
+			}
+		}
+		weight *= 2
+	}
+	return total
+}
+
+// Quantile implements Sketch by scanning the weighted sorted union.
+func (s *KLL) Quantile(q float64) int64 {
+	type wv struct {
+		v int64
+		w float64
+	}
+	var items []wv
+	weight := 1.0
+	for _, level := range s.levels {
+		for _, v := range level {
+			items = append(items, wv{v, weight})
+		}
+		weight *= 2
+	}
+	if len(items) == 0 {
+		panic("quantile: empty sketch")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	totalW := 0.0
+	for _, it := range items {
+		totalW += it.w
+	}
+	target := q * totalW
+	acc := 0.0
+	for _, it := range items {
+		acc += it.w
+		if acc >= target {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}
+
+// Count implements Sketch.
+func (s *KLL) Count() int { return s.n }
+
+// Size implements Sketch.
+func (s *KLL) Size() int {
+	total := 0
+	for _, level := range s.levels {
+		total += len(level)
+	}
+	return total
+}
+
+// Levels returns the number of compactor levels currently allocated.
+func (s *KLL) Levels() int { return len(s.levels) }
+
+// Merge folds the contents of other into s, implementing the mergeability
+// property that makes KLL suitable for the distributed-streams setting the
+// paper's related-work section discusses ([CTW16, CMYZ12]): level-h items
+// of other are appended to level h of s and compacted lazily on overflow.
+// other is left unchanged.
+func (s *KLL) Merge(other *KLL) {
+	if other == nil {
+		return
+	}
+	for h, level := range other.levels {
+		for h >= len(s.levels) {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[h] = append(s.levels[h], level...)
+	}
+	s.n += other.n
+	for h := 0; h < len(s.levels); h++ {
+		for len(s.levels[h]) > s.capacityAt(h) {
+			s.compact(h)
+		}
+	}
+}
+
+// WeightConserved checks that the total weighted count equals n; compaction
+// must preserve mass. Tests call it after adversarial insertions.
+func (s *KLL) WeightConserved() bool {
+	total := 0.0
+	weight := 1.0
+	for _, level := range s.levels {
+		total += weight * float64(len(level))
+		weight *= 2
+	}
+	// Compaction of an odd-sized buffer drops at most one element of
+	// that level's weight; allow the cumulative slack.
+	slack := weight // generous: sum of one element per level
+	return math.Abs(total-float64(s.n)) <= slack
+}

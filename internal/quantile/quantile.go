@@ -1,0 +1,245 @@
+// Package quantile implements the quantile-estimation application of
+// Corollary 1.5 and its classical competitors.
+//
+// The paper's robust quantile sketch is simply a Bernoulli or reservoir
+// sample sized for the prefix set system (|R| = |U|): if the sample is an
+// eps-approximation, every rank query is answered within eps*n, for all
+// quantiles simultaneously. This package provides that sketch plus the two
+// standard baselines the streaming literature (and the paper's related-work
+// section) compares against:
+//
+//   - Greenwald-Khanna [GK01]: deterministic, hence trivially adversarially
+//     robust, with O(eps^-1 log(eps n)) space.
+//   - KLL [KLL16]: randomized compactor hierarchy with optimal static
+//     space; NOT known to be adversarially robust, included as the
+//     contrast point.
+//
+// All sketches answer Rank(x) = |{ j : x_j <= x }| estimates; exact
+// reference ranks come from ExactRanker.
+package quantile
+
+import (
+	"math"
+	"sort"
+
+	"robustsample/internal/rng"
+)
+
+// Sketch is a streaming rank/quantile estimator over int64 values.
+type Sketch interface {
+	// Name identifies the sketch in tables.
+	Name() string
+	// Insert folds in one stream element.
+	Insert(x int64)
+	// Rank estimates |{ j : x_j <= x }| over the stream so far.
+	Rank(x int64) float64
+	// Quantile returns an element whose rank is approximately q*n, for
+	// q in [0, 1]. It panics if the sketch is empty.
+	Quantile(q float64) int64
+	// Count returns the number of inserted elements.
+	Count() int
+	// Size returns the number of stored tuples/values (space usage).
+	Size() int
+}
+
+// ExactRanker stores the entire stream and answers exact ranks; it is the
+// ground truth the experiments compare sketches against.
+type ExactRanker struct {
+	values []int64
+	sorted bool
+}
+
+// NewExact returns an empty exact ranker.
+func NewExact() *ExactRanker { return &ExactRanker{} }
+
+// Name implements Sketch.
+func (e *ExactRanker) Name() string { return "exact" }
+
+// Insert implements Sketch.
+func (e *ExactRanker) Insert(x int64) {
+	e.values = append(e.values, x)
+	e.sorted = false
+}
+
+func (e *ExactRanker) ensureSorted() {
+	if !e.sorted {
+		sort.Slice(e.values, func(i, j int) bool { return e.values[i] < e.values[j] })
+		e.sorted = true
+	}
+}
+
+// Rank implements Sketch (exactly).
+func (e *ExactRanker) Rank(x int64) float64 {
+	e.ensureSorted()
+	idx := sort.Search(len(e.values), func(i int) bool { return e.values[i] > x })
+	return float64(idx)
+}
+
+// Quantile implements Sketch (exactly).
+func (e *ExactRanker) Quantile(q float64) int64 {
+	if len(e.values) == 0 {
+		panic("quantile: empty sketch")
+	}
+	e.ensureSorted()
+	idx := int(q*float64(len(e.values))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.values) {
+		idx = len(e.values) - 1
+	}
+	return e.values[idx]
+}
+
+// Count implements Sketch.
+func (e *ExactRanker) Count() int { return len(e.values) }
+
+// Size implements Sketch.
+func (e *ExactRanker) Size() int { return len(e.values) }
+
+// SampleSketch answers rank queries from a maintained random sample; with a
+// Theorem 1.2-sized sample it is the paper's adversarially robust quantile
+// sketch (Corollary 1.5).
+type SampleSketch struct {
+	label string
+	rng   *rng.RNG
+	offer func(x int64, r *rng.RNG) bool
+	view  func() []int64
+	count int
+}
+
+// NewReservoirSketch wraps a reservoir sampler of memory k as a quantile
+// sketch; pass k from core.QuantileSketchSize for robustness.
+func NewReservoirSketch(k int, r *rng.RNG) *SampleSketch {
+	res := newReservoirInt64(k)
+	return &SampleSketch{
+		label: "reservoir-sample",
+		rng:   r,
+		offer: res.offer,
+		view:  res.viewFn,
+	}
+}
+
+// NewBernoulliSketch wraps a Bernoulli sampler of rate p as a quantile
+// sketch; pass p from core.BernoulliRate for robustness.
+func NewBernoulliSketch(p float64, r *rng.RNG) *SampleSketch {
+	if p < 0 || p > 1 {
+		panic("quantile: Bernoulli rate must be in [0, 1]")
+	}
+	var items []int64
+	return &SampleSketch{
+		label: "bernoulli-sample",
+		rng:   r,
+		offer: func(x int64, r *rng.RNG) bool {
+			if r.Bernoulli(p) {
+				items = append(items, x)
+				return true
+			}
+			return false
+		},
+		view: func() []int64 { return items },
+	}
+}
+
+// minimal int64 reservoir to avoid importing the generic sampler here (the
+// sketch interface hides admission feedback anyway).
+type reservoirInt64 struct {
+	k      int
+	items  []int64
+	rounds int
+}
+
+func newReservoirInt64(k int) *reservoirInt64 {
+	if k < 1 {
+		panic("quantile: reservoir capacity must be >= 1")
+	}
+	return &reservoirInt64{k: k}
+}
+
+func (v *reservoirInt64) offer(x int64, r *rng.RNG) bool {
+	v.rounds++
+	if len(v.items) < v.k {
+		v.items = append(v.items, x)
+		return true
+	}
+	j := r.Intn(v.rounds)
+	if j < v.k {
+		v.items[j] = x
+		return true
+	}
+	return false
+}
+
+func (v *reservoirInt64) viewFn() []int64 { return v.items }
+
+// Name implements Sketch.
+func (s *SampleSketch) Name() string { return s.label }
+
+// Insert implements Sketch.
+func (s *SampleSketch) Insert(x int64) {
+	s.offer(x, s.rng)
+	s.count++
+}
+
+// Rank implements Sketch: rank(x) ~= d_[min,x](S) * n.
+func (s *SampleSketch) Rank(x int64) float64 {
+	sample := s.view()
+	if len(sample) == 0 {
+		return 0
+	}
+	below := 0
+	for _, v := range sample {
+		if v <= x {
+			below++
+		}
+	}
+	return float64(below) / float64(len(sample)) * float64(s.count)
+}
+
+// Quantile implements Sketch: the q-quantile of the sample.
+func (s *SampleSketch) Quantile(q float64) int64 {
+	sample := append([]int64(nil), s.view()...)
+	if len(sample) == 0 {
+		panic("quantile: empty sketch")
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := int(q*float64(len(sample))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	return sample[idx]
+}
+
+// Count implements Sketch.
+func (s *SampleSketch) Count() int { return s.count }
+
+// Size implements Sketch.
+func (s *SampleSketch) Size() int { return len(s.view()) }
+
+// MaxRankError returns the maximal |sketch.Rank(x) - exact rank| / n over
+// all distinct stream values, the all-quantiles error metric of Corollary
+// 1.5. stream must be the full stream the sketch ingested.
+func MaxRankError(sk Sketch, stream []int64) float64 {
+	if len(stream) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), stream...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(sorted))
+	worst := 0.0
+	for i := 0; i < len(sorted); i++ {
+		// Skip duplicates; rank changes only at distinct values.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		exact := float64(i + 1)
+		got := sk.Rank(sorted[i])
+		if d := math.Abs(got-exact) / n; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

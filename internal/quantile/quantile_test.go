@@ -1,0 +1,419 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"robustsample/internal/rng"
+)
+
+func uniformStream(n int, universe int64, r *rng.RNG) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + r.Int63n(universe)
+	}
+	return out
+}
+
+func TestExactRankerGroundTruth(t *testing.T) {
+	e := NewExact()
+	for _, v := range []int64{5, 1, 3, 3, 9} {
+		e.Insert(v)
+	}
+	cases := []struct {
+		x    int64
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 3}, {5, 4}, {9, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := e.Rank(c.x); got != c.want {
+			t.Fatalf("Rank(%d) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Quantile(0.5) != 3 {
+		t.Fatalf("median = %d, want 3", e.Quantile(0.5))
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 9 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if e.Count() != 5 || e.Size() != 5 {
+		t.Fatal("count/size wrong")
+	}
+}
+
+func TestExactRankerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExact().Quantile(0.5)
+}
+
+func TestExactInsertAfterQueryStillSorted(t *testing.T) {
+	e := NewExact()
+	e.Insert(5)
+	_ = e.Rank(3)
+	e.Insert(1)
+	if e.Rank(1) != 1 {
+		t.Fatal("rank wrong after interleaved insert/query")
+	}
+}
+
+func TestReservoirSketchRankAccuracy(t *testing.T) {
+	r := rng.New(1)
+	sk := NewReservoirSketch(2000, r.Split())
+	stream := uniformStream(20000, 1<<20, r)
+	for _, x := range stream {
+		sk.Insert(x)
+	}
+	if err := MaxRankError(sk, stream); err > 0.08 {
+		t.Fatalf("reservoir sketch rank error %v too large", err)
+	}
+	if sk.Count() != 20000 {
+		t.Fatal("count wrong")
+	}
+	if sk.Size() != 2000 {
+		t.Fatalf("size %d, want 2000", sk.Size())
+	}
+}
+
+func TestBernoulliSketchRankAccuracy(t *testing.T) {
+	r := rng.New(2)
+	sk := NewBernoulliSketch(0.1, r.Split())
+	stream := uniformStream(20000, 1<<20, r)
+	for _, x := range stream {
+		sk.Insert(x)
+	}
+	if err := MaxRankError(sk, stream); err > 0.08 {
+		t.Fatalf("bernoulli sketch rank error %v too large", err)
+	}
+}
+
+func TestBernoulliSketchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBernoulliSketch(1.5, rng.New(1))
+}
+
+func TestSampleSketchMedian(t *testing.T) {
+	r := rng.New(3)
+	sk := NewReservoirSketch(500, r.Split())
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		sk.Insert(int64(i))
+	}
+	med := sk.Quantile(0.5)
+	if med < n/2-n/10 || med > n/2+n/10 {
+		t.Fatalf("median %d too far from %d", med, n/2)
+	}
+}
+
+func TestSampleSketchEmptyQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoirSketch(5, rng.New(1)).Quantile(0.5)
+}
+
+func TestGKRankWithinEps(t *testing.T) {
+	for _, order := range []string{"random", "sorted", "reverse"} {
+		eps := 0.01
+		g := NewGK(eps)
+		r := rng.New(4)
+		const n = 20000
+		stream := uniformStream(n, 1<<20, r)
+		switch order {
+		case "sorted":
+			sort.Slice(stream, func(i, j int) bool { return stream[i] < stream[j] })
+		case "reverse":
+			sort.Slice(stream, func(i, j int) bool { return stream[i] > stream[j] })
+		}
+		for _, x := range stream {
+			g.Insert(x)
+		}
+		if err := MaxRankError(g, stream); err > eps+0.005 {
+			t.Fatalf("%s order: GK rank error %v exceeds eps %v", order, err, eps)
+		}
+		if !g.InvariantHolds() {
+			t.Fatalf("%s order: GK invariant violated", order)
+		}
+	}
+}
+
+func TestGKSpaceSublinear(t *testing.T) {
+	eps := 0.01
+	g := NewGK(eps)
+	r := rng.New(5)
+	const n = 50000
+	for _, x := range uniformStream(n, 1<<30, r) {
+		g.Insert(x)
+	}
+	if g.Size() > n/10 {
+		t.Fatalf("GK stored %d tuples for n=%d; not compressing", g.Size(), n)
+	}
+	if g.Count() != n {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestGKQuantileReasonable(t *testing.T) {
+	g := NewGK(0.01)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		g.Insert(int64(i))
+	}
+	med := g.Quantile(0.5)
+	if med < n/2-n/20 || med > n/2+n/20 {
+		t.Fatalf("GK median %d too far from %d", med, n/2)
+	}
+}
+
+func TestGKValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewGK(eps)
+		}()
+	}
+}
+
+func TestGKEmpty(t *testing.T) {
+	g := NewGK(0.1)
+	if g.Rank(5) != 0 {
+		t.Fatal("empty GK rank should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty quantile")
+		}
+	}()
+	g.Quantile(0.5)
+}
+
+func TestKLLRankAccuracy(t *testing.T) {
+	r := rng.New(6)
+	s := NewKLL(200, r.Split())
+	const n = 50000
+	stream := uniformStream(n, 1<<30, r)
+	for _, x := range stream {
+		s.Insert(x)
+	}
+	if err := MaxRankError(s, stream); err > 0.05 {
+		t.Fatalf("KLL rank error %v too large", err)
+	}
+	if !s.WeightConserved() {
+		t.Fatal("KLL lost mass during compaction")
+	}
+}
+
+func TestKLLSpaceSublinear(t *testing.T) {
+	r := rng.New(7)
+	s := NewKLL(100, r.Split())
+	const n = 100000
+	for _, x := range uniformStream(n, 1<<30, r) {
+		s.Insert(x)
+	}
+	if s.Size() > 3000 {
+		t.Fatalf("KLL size %d too large for k=100", s.Size())
+	}
+	if s.Levels() < 2 {
+		t.Fatal("KLL never compacted")
+	}
+	if s.Count() != n {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestKLLSortedInsertion(t *testing.T) {
+	r := rng.New(8)
+	s := NewKLL(200, r)
+	const n = 30000
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = int64(i + 1)
+	}
+	for _, x := range stream {
+		s.Insert(x)
+	}
+	if err := MaxRankError(s, stream); err > 0.05 {
+		t.Fatalf("KLL sorted-order rank error %v", err)
+	}
+}
+
+func TestKLLQuantileMonotone(t *testing.T) {
+	r := rng.New(9)
+	s := NewKLL(100, r.Split())
+	for _, x := range uniformStream(20000, 1<<20, r) {
+		s.Insert(x)
+	}
+	prev := int64(math.MinInt64)
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestKLLValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewKLL(3, rng.New(1)) },
+		func() { NewKLL(10, nil) },
+		func() { NewKLL(10, rng.New(1)).Quantile(0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxRankErrorEmptyStream(t *testing.T) {
+	if MaxRankError(NewExact(), nil) != 0 {
+		t.Fatal("empty stream error should be 0")
+	}
+}
+
+func TestMaxRankErrorExactIsZero(t *testing.T) {
+	r := rng.New(10)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		e := NewExact()
+		stream := uniformStream(n, 100, r)
+		for _, x := range stream {
+			e.Insert(x)
+		}
+		return MaxRankError(e, stream) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchesAgreeOnDuplicateHeavyStream(t *testing.T) {
+	// A stream that is 90% one value; median must be that value for
+	// every sketch.
+	r := rng.New(11)
+	mk := []Sketch{
+		NewExact(),
+		NewReservoirSketch(500, r.Split()),
+		NewGK(0.01),
+		NewKLL(200, r.Split()),
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := int64(500)
+		if i%10 == 0 {
+			v = 1 + r.Int63n(1000)
+		}
+		for _, sk := range mk {
+			sk.Insert(v)
+		}
+	}
+	for _, sk := range mk {
+		if med := sk.Quantile(0.5); med != 500 {
+			t.Fatalf("%s: median %d, want 500", sk.Name(), med)
+		}
+	}
+}
+
+func BenchmarkGKInsert(b *testing.B) {
+	g := NewGK(0.01)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Insert(r.Int63n(1 << 30))
+	}
+}
+
+func BenchmarkKLLInsert(b *testing.B) {
+	r := rng.New(1)
+	s := NewKLL(200, r.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(r.Int63n(1 << 30))
+	}
+}
+
+func BenchmarkReservoirSketchInsert(b *testing.B) {
+	r := rng.New(1)
+	s := NewReservoirSketch(1000, r.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(r.Int63n(1 << 30))
+	}
+}
+
+func TestKLLMergeAccuracy(t *testing.T) {
+	// Two sketches over halves of a stream, merged, must answer ranks
+	// about as well as one sketch over the whole stream.
+	r := rng.New(12)
+	a := NewKLL(200, r.Split())
+	b := NewKLL(200, r.Split())
+	const n = 40000
+	stream := uniformStream(n, 1<<30, r)
+	for i, x := range stream {
+		if i < n/2 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != n {
+		t.Fatalf("merged count %d, want %d", a.Count(), n)
+	}
+	if err := MaxRankError(a, stream); err > 0.06 {
+		t.Fatalf("merged KLL rank error %v too large", err)
+	}
+	if !a.WeightConserved() {
+		t.Fatal("merge lost mass")
+	}
+}
+
+func TestKLLMergeNilAndEmpty(t *testing.T) {
+	r := rng.New(13)
+	a := NewKLL(100, r.Split())
+	a.Insert(5)
+	a.Merge(nil)
+	if a.Count() != 1 {
+		t.Fatal("nil merge changed count")
+	}
+	empty := NewKLL(100, r.Split())
+	a.Merge(empty)
+	if a.Count() != 1 || a.Rank(5) != 1 {
+		t.Fatal("empty merge corrupted sketch")
+	}
+}
+
+func TestKLLMergeRespectsCapacity(t *testing.T) {
+	r := rng.New(14)
+	a := NewKLL(50, r.Split())
+	b := NewKLL(50, r.Split())
+	for _, x := range uniformStream(20000, 1<<20, r) {
+		a.Insert(x)
+		b.Insert(x)
+	}
+	a.Merge(b)
+	if a.Size() > 2000 {
+		t.Fatalf("merged size %d did not compact", a.Size())
+	}
+}

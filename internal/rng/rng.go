@@ -1,0 +1,270 @@
+// Package rng provides a deterministic, splittable pseudo-random source used
+// throughout the repository.
+//
+// The adversarial games in the paper are probabilistic processes: both the
+// sampler and the adversary flip coins every round, and every experiment
+// repeats the game across many independent trials. To make every table in
+// EXPERIMENTS.md reproducible bit-for-bit, all randomness flows through this
+// package: an experiment owns a root RNG seeded from the command line, and
+// each trial receives an independent stream via Split. The generator is
+// PCG-XSL-RR 128/64 (the same family as math/rand/v2's PCG), implemented
+// here so that stream splitting is explicit and stable across Go releases.
+package rng
+
+import "math"
+
+// RNG is a PCG-XSL-RR 128/64 generator. The zero value is not valid; use New.
+type RNG struct {
+	hi, lo uint64 // 128-bit state
+}
+
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+	incHi = 6364136223846793005
+	incLo = 1442695040888963407
+)
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.seed(seed, seed^0x9e3779b97f4a7c15)
+	return r
+}
+
+// NewWithStream returns a generator whose output stream is determined by both
+// seed and stream. Distinct stream values yield statistically independent
+// sequences for the same seed.
+func NewWithStream(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.seed(seed, stream)
+	return r
+}
+
+func (r *RNG) seed(seed, stream uint64) {
+	// Standard PCG initialization: state 0, advance, add seed, advance.
+	r.hi, r.lo = 0, 0
+	r.next()
+	r.lo += splitmix(seed)
+	r.hi += splitmix(stream)
+	r.next()
+}
+
+// splitmix is SplitMix64, used to decorrelate raw user seeds.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next advances the 128-bit LCG state and returns the previous state
+// passed through the XSL-RR output permutation.
+func (r *RNG) next() uint64 {
+	oldHi, oldLo := r.hi, r.lo
+
+	// 128-bit multiply of state by mul.
+	hi, lo := mul128(oldHi, oldLo, mulHi, mulLo)
+	// 128-bit add of inc.
+	lo, carry := add64(lo, incLo)
+	hi = hi + incHi + carry
+	r.hi, r.lo = hi, lo
+
+	// XSL-RR output function on the old state.
+	xored := oldHi ^ oldLo
+	rot := uint(oldHi >> 58)
+	return xored>>rot | xored<<((64-rot)&63)
+}
+
+func mul128(aHi, aLo, bHi, bLo uint64) (hi, lo uint64) {
+	// Full 64x64 -> 128 of the low words.
+	const mask32 = 1<<32 - 1
+	a0, a1 := aLo&mask32, aLo>>32
+	b0, b1 := bLo&mask32, bLo>>32
+	t := a0 * b0
+	w0 := t & mask32
+	k := t >> 32
+	t = a1*b0 + k
+	w1 := t & mask32
+	w2 := t >> 32
+	t = a0*b1 + w1
+	k = t >> 32
+	lo = aLo * bLo
+	hi = a1*b1 + w2 + k
+	_ = w0
+	// Cross terms into the high word.
+	hi += aHi*bLo + aLo*bHi
+	return hi, lo
+}
+
+func add64(a, b uint64) (sum, carry uint64) {
+	sum = a + b
+	if sum < a {
+		carry = 1
+	}
+	return sum, carry
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.next() }
+
+// Split returns a new generator statistically independent of r. Splitting is
+// deterministic: the child stream is derived from two draws of the parent, so
+// a fixed root seed yields a fixed tree of generators.
+func (r *RNG) Split() *RNG {
+	return NewWithStream(r.next(), r.next()|1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's unbiased method.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Rejection sampling on the high multiply.
+	for {
+		v := r.next()
+		hi, lo := mul128(0, v, 0, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials. It panics unless 0 < p <= 1.
+func (r *RNG) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int64(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf returns a value in [1, n] with probability proportional to rank^-s.
+// It uses inverse-CDF over a precomputed table-free harmonic approximation
+// for small n, falling back to rejection for large n. For the workload sizes
+// in this repository (n <= 2^24) the simple inversion loop is fast enough
+// only for small n, so Zipf is provided through the ZipfGen type instead.
+type ZipfGen struct {
+	n   int64
+	s   float64
+	cdf []float64 // cumulative probabilities, len n (only for n <= zipfTableMax)
+}
+
+const zipfTableMax = 1 << 20
+
+// NewZipf constructs a Zipf(s) generator over [1, n]. For n beyond the table
+// limit it panics; experiments use universes within the limit when Zipfian
+// workloads are requested.
+func NewZipf(n int64, s float64) *ZipfGen {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if n > zipfTableMax {
+		panic("rng: Zipf table too large")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += math.Pow(float64(i), -s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfGen{n: n, s: s, cdf: cdf}
+}
+
+// Draw returns a Zipf-distributed value in [1, n].
+func (z *ZipfGen) Draw(r *RNG) int64 {
+	u := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo + 1)
+}

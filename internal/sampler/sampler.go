@@ -1,0 +1,350 @@
+// Package sampler implements the streaming sampling algorithms analyzed by
+// the paper — BernoulliSample and ReservoirSample (Vitter's Algorithm R,
+// exactly as the pseudocode in Section 2) — plus the weighted-reservoir
+// extension discussed in Section 1.3 (Efraimidis-Spirakis A-Res) and a
+// with-replacement variant used in ablation benchmarks.
+//
+// Samplers are generic over the element type. The adversarial game fixes
+// T = int64 (ordered universes), but the public library is usable with any
+// payload. All randomness is drawn from an explicit *rng.RNG so that games
+// and experiments are reproducible.
+//
+// The Offer method returns whether the element was admitted into the sample
+// in this round; this is precisely the bit the paper's adaptive adversary
+// conditions on (it observes the post-update state σ_i, from which admission
+// is visible).
+package sampler
+
+import (
+	"math"
+	"sort"
+
+	"robustsample/internal/rng"
+)
+
+// Bernoulli keeps each offered element independently with probability P.
+// For a stream of length n the sample size concentrates around n*P
+// (Chernoff; Theorem 3.1 of the paper).
+type Bernoulli[T any] struct {
+	// P is the per-element sampling probability in [0, 1].
+	P float64
+
+	items  []T
+	rounds int
+}
+
+// NewBernoulli returns a Bernoulli sampler with rate p. It panics unless
+// 0 <= p <= 1.
+func NewBernoulli[T any](p float64) *Bernoulli[T] {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("sampler: Bernoulli rate must be in [0, 1]")
+	}
+	return &Bernoulli[T]{P: p}
+}
+
+// Offer processes the next stream element, returning whether it was sampled.
+func (b *Bernoulli[T]) Offer(x T, r *rng.RNG) bool {
+	b.rounds++
+	if r.Bernoulli(b.P) {
+		b.items = append(b.items, x)
+		return true
+	}
+	return false
+}
+
+// View returns the current sample without copying. Callers must not mutate
+// the returned slice; it is the sampler's internal state σ_i.
+func (b *Bernoulli[T]) View() []T { return b.items }
+
+// Sample returns a copy of the current sample.
+func (b *Bernoulli[T]) Sample() []T { return append([]T(nil), b.items...) }
+
+// Len returns the current sample size.
+func (b *Bernoulli[T]) Len() int { return len(b.items) }
+
+// Rounds returns the number of elements offered so far.
+func (b *Bernoulli[T]) Rounds() int { return b.rounds }
+
+// Reset clears the sampler for a fresh stream.
+func (b *Bernoulli[T]) Reset() {
+	b.items = b.items[:0]
+	b.rounds = 0
+}
+
+// Reservoir maintains a uniform without-replacement sample of fixed size K
+// using Vitter's Algorithm R, exactly as the ReservoirSample pseudocode in
+// Section 2 of the paper: the first K elements are stored with probability
+// one; element i > K is stored with probability K/i, overwriting a uniformly
+// random slot.
+type Reservoir[T any] struct {
+	// K is the reservoir capacity.
+	K int
+
+	items    []T
+	rounds   int
+	admitted int // k' in Section 5: total elements ever admitted
+}
+
+// NewReservoir returns a reservoir sampler of capacity k. It panics unless
+// k >= 1.
+func NewReservoir[T any](k int) *Reservoir[T] {
+	if k < 1 {
+		panic("sampler: reservoir capacity must be >= 1")
+	}
+	return &Reservoir[T]{K: k, items: make([]T, 0, k)}
+}
+
+// Offer processes the next stream element, returning whether it entered the
+// reservoir (possibly evicting an older element).
+func (v *Reservoir[T]) Offer(x T, r *rng.RNG) bool {
+	v.rounds++
+	if len(v.items) < v.K {
+		v.items = append(v.items, x)
+		v.admitted++
+		return true
+	}
+	// Store with probability K/i by drawing j uniform in [0, i) and
+	// admitting when j < K; j then doubles as the eviction slot, which
+	// is uniform in [0, K) conditioned on admission.
+	j := r.Intn(v.rounds)
+	if j < v.K {
+		v.items[j] = x
+		v.admitted++
+		return true
+	}
+	return false
+}
+
+// View returns the current sample without copying; callers must not mutate.
+func (v *Reservoir[T]) View() []T { return v.items }
+
+// Sample returns a copy of the current sample.
+func (v *Reservoir[T]) Sample() []T { return append([]T(nil), v.items...) }
+
+// Len returns the current sample size (min(K, rounds)).
+func (v *Reservoir[T]) Len() int { return len(v.items) }
+
+// Rounds returns the number of elements offered so far.
+func (v *Reservoir[T]) Rounds() int { return v.rounds }
+
+// TotalAdmitted returns k', the number of elements ever admitted to the
+// reservoir including those later evicted. Section 5 of the paper bounds
+// E[k'] <= 2k ln n; the attack experiments verify this.
+func (v *Reservoir[T]) TotalAdmitted() int { return v.admitted }
+
+// Reset clears the sampler for a fresh stream.
+func (v *Reservoir[T]) Reset() {
+	v.items = v.items[:0]
+	v.rounds = 0
+	v.admitted = 0
+}
+
+// WeightedItem pairs an element with a positive weight for weighted
+// reservoir sampling.
+type WeightedItem[T any] struct {
+	Value  T
+	Weight float64
+}
+
+// WeightedReservoir implements Efraimidis-Spirakis A-Res weighted reservoir
+// sampling without replacement ([ES06], discussed in Section 1.3): each
+// element receives key u^(1/w) with u uniform in (0,1), and the K largest
+// keys are kept. The inclusion probability of an element grows with its
+// weight.
+type WeightedReservoir[T any] struct {
+	// K is the reservoir capacity.
+	K int
+
+	// heap of (key, item) with the smallest key at the root, so the
+	// element most likely to be displaced is inspected in O(1).
+	keys   []float64
+	items  []T
+	rounds int
+}
+
+// NewWeightedReservoir returns a weighted reservoir of capacity k. It panics
+// unless k >= 1.
+func NewWeightedReservoir[T any](k int) *WeightedReservoir[T] {
+	if k < 1 {
+		panic("sampler: weighted reservoir capacity must be >= 1")
+	}
+	return &WeightedReservoir[T]{K: k}
+}
+
+// Offer processes an element with the given positive weight, returning
+// whether it was admitted. Elements with non-positive weight are never
+// admitted.
+func (w *WeightedReservoir[T]) Offer(x T, weight float64, r *rng.RNG) bool {
+	w.rounds++
+	if weight <= 0 || math.IsNaN(weight) {
+		return false
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	key := math.Pow(u, 1/weight)
+	if len(w.items) < w.K {
+		w.push(key, x)
+		return true
+	}
+	if key <= w.keys[0] {
+		return false
+	}
+	w.keys[0] = key
+	w.items[0] = x
+	w.siftDown(0)
+	return true
+}
+
+func (w *WeightedReservoir[T]) push(key float64, x T) {
+	w.keys = append(w.keys, key)
+	w.items = append(w.items, x)
+	i := len(w.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if w.keys[parent] <= w.keys[i] {
+			break
+		}
+		w.swap(i, parent)
+		i = parent
+	}
+}
+
+func (w *WeightedReservoir[T]) siftDown(i int) {
+	n := len(w.keys)
+	for {
+		l, rch := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && w.keys[l] < w.keys[smallest] {
+			smallest = l
+		}
+		if rch < n && w.keys[rch] < w.keys[smallest] {
+			smallest = rch
+		}
+		if smallest == i {
+			return
+		}
+		w.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (w *WeightedReservoir[T]) swap(i, j int) {
+	w.keys[i], w.keys[j] = w.keys[j], w.keys[i]
+	w.items[i], w.items[j] = w.items[j], w.items[i]
+}
+
+// View returns the current sample without copying; callers must not mutate.
+// The order is heap order, not insertion order.
+func (w *WeightedReservoir[T]) View() []T { return w.items }
+
+// Sample returns a copy of the current sample.
+func (w *WeightedReservoir[T]) Sample() []T { return append([]T(nil), w.items...) }
+
+// Len returns the current sample size.
+func (w *WeightedReservoir[T]) Len() int { return len(w.items) }
+
+// Rounds returns the number of elements offered so far.
+func (w *WeightedReservoir[T]) Rounds() int { return w.rounds }
+
+// Reset clears the sampler for a fresh stream.
+func (w *WeightedReservoir[T]) Reset() {
+	w.keys = w.keys[:0]
+	w.items = w.items[:0]
+	w.rounds = 0
+}
+
+// WithReplacement maintains K independent uniform samples of size one (K
+// independent single-slot reservoirs). It is used in ablations: unlike
+// Algorithm R its slots are independent, which slightly changes the
+// martingale variance profile of Section 4.2.
+type WithReplacement[T any] struct {
+	// K is the number of independent slots.
+	K int
+
+	items  []T
+	filled bool
+	rounds int
+}
+
+// NewWithReplacement returns a with-replacement sampler with k slots. It
+// panics unless k >= 1.
+func NewWithReplacement[T any](k int) *WithReplacement[T] {
+	if k < 1 {
+		panic("sampler: with-replacement capacity must be >= 1")
+	}
+	return &WithReplacement[T]{K: k, items: make([]T, k)}
+}
+
+// Offer processes the next element; it returns true if any slot adopted it.
+func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
+	s.rounds++
+	admitted := false
+	if s.rounds == 1 {
+		for i := range s.items {
+			s.items[i] = x
+		}
+		s.filled = true
+		return true
+	}
+	// Each slot independently replaces its content with probability 1/i.
+	// The number of adopting slots is Binomial(K, 1/i); sample it via
+	// geometric skips to stay O(adoptions) per round in expectation.
+	p := 1 / float64(s.rounds)
+	i := 0
+	for i < s.K {
+		skip := r.Geometric(p)
+		if skip > int64(s.K-i-1) {
+			break
+		}
+		i += int(skip)
+		s.items[i] = x
+		admitted = true
+		i++
+	}
+	return admitted
+}
+
+// View returns the slots without copying; callers must not mutate. Before
+// the first element arrives the slots hold zero values.
+func (s *WithReplacement[T]) View() []T {
+	if !s.filled {
+		return nil
+	}
+	return s.items
+}
+
+// Sample returns a copy of the slots.
+func (s *WithReplacement[T]) Sample() []T {
+	return append([]T(nil), s.View()...)
+}
+
+// Len returns the number of live slots.
+func (s *WithReplacement[T]) Len() int {
+	if !s.filled {
+		return 0
+	}
+	return s.K
+}
+
+// Rounds returns the number of elements offered so far.
+func (s *WithReplacement[T]) Rounds() int { return s.rounds }
+
+// Reset clears the sampler for a fresh stream.
+func (s *WithReplacement[T]) Reset() {
+	s.filled = false
+	s.rounds = 0
+	for i := range s.items {
+		var zero T
+		s.items[i] = zero
+	}
+}
+
+// SortedCopy returns an ascending copy of an int64 sample; a convenience for
+// tests and verdicts.
+func SortedCopy(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,445 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robustsample/internal/rng"
+)
+
+func TestBernoulliRate(t *testing.T) {
+	r := rng.New(1)
+	b := NewBernoulli[int64](0.1)
+	const n = 100000
+	for i := int64(0); i < n; i++ {
+		b.Offer(i, r)
+	}
+	got := float64(b.Len()) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("sample rate %v, want ~0.1", got)
+	}
+	if b.Rounds() != n {
+		t.Fatalf("rounds = %d", b.Rounds())
+	}
+}
+
+func TestBernoulliEdgeRates(t *testing.T) {
+	r := rng.New(2)
+	b0 := NewBernoulli[int](0)
+	b1 := NewBernoulli[int](1)
+	for i := 0; i < 100; i++ {
+		if b0.Offer(i, r) {
+			t.Fatal("p=0 admitted an element")
+		}
+		if !b1.Offer(i, r) {
+			t.Fatal("p=1 rejected an element")
+		}
+	}
+	if b0.Len() != 0 || b1.Len() != 100 {
+		t.Fatal("sizes wrong at edge rates")
+	}
+}
+
+func TestBernoulliPanicsOnBadRate(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBernoulli(%v) did not panic", p)
+				}
+			}()
+			NewBernoulli[int](p)
+		}()
+	}
+}
+
+func TestBernoulliReset(t *testing.T) {
+	r := rng.New(3)
+	b := NewBernoulli[int](1)
+	b.Offer(1, r)
+	b.Reset()
+	if b.Len() != 0 || b.Rounds() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestBernoulliSampleIsCopy(t *testing.T) {
+	r := rng.New(4)
+	b := NewBernoulli[int](1)
+	b.Offer(7, r)
+	s := b.Sample()
+	s[0] = 99
+	if b.View()[0] != 7 {
+		t.Fatal("Sample aliases internal state")
+	}
+}
+
+func TestReservoirCapacity(t *testing.T) {
+	r := rng.New(5)
+	v := NewReservoir[int64](10)
+	for i := int64(0); i < 1000; i++ {
+		v.Offer(i, r)
+		if v.Len() > 10 {
+			t.Fatal("reservoir exceeded capacity")
+		}
+	}
+	if v.Len() != 10 {
+		t.Fatalf("final size %d, want 10", v.Len())
+	}
+	if v.Rounds() != 1000 {
+		t.Fatal("round counter wrong")
+	}
+}
+
+func TestReservoirPrefixKeptWhole(t *testing.T) {
+	r := rng.New(6)
+	v := NewReservoir[int64](5)
+	for i := int64(1); i <= 5; i++ {
+		if !v.Offer(i, r) {
+			t.Fatal("first k elements must all be admitted")
+		}
+	}
+	got := SortedCopy(v.View())
+	for i, x := range got {
+		if x != int64(i+1) {
+			t.Fatalf("prefix not stored verbatim: %v", got)
+		}
+	}
+}
+
+func TestReservoirUniformInclusion(t *testing.T) {
+	// Each of n elements must end up in the final sample with
+	// probability exactly k/n; check empirically per position. This is
+	// the defining property of Algorithm R.
+	const n, k, trials = 20, 5, 40000
+	counts := make([]int, n)
+	root := rng.New(7)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		v := NewReservoir[int](k)
+		for i := 0; i < n; i++ {
+			v.Offer(i, r)
+		}
+		for _, x := range v.View() {
+			counts[x]++
+		}
+	}
+	want := float64(trials) * k / n
+	sd := math.Sqrt(want * (1 - float64(k)/n))
+	for pos, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sd {
+			t.Fatalf("position %d included %d times, want %v +/- %v", pos, c, want, 5*sd)
+		}
+	}
+}
+
+func TestReservoirAdmissionProbability(t *testing.T) {
+	// Element i (1-based, i > k) is admitted with probability k/i.
+	const k = 4
+	const i = 10
+	const trials = 60000
+	root := rng.New(8)
+	admitted := 0
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		v := NewReservoir[int](k)
+		for j := 1; j < i; j++ {
+			v.Offer(j, r)
+		}
+		if v.Offer(i, r) {
+			admitted++
+		}
+	}
+	got := float64(admitted) / trials
+	want := float64(k) / float64(i)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("admission rate %v, want %v", got, want)
+	}
+}
+
+func TestReservoirTotalAdmitted(t *testing.T) {
+	// E[k'] = k + sum_{i>k} k/i ~= k(1 + ln(n/k)); Section 5 uses the
+	// cruder bound E[k'] <= 2k ln n. Check the measured mean respects it.
+	const n, k, trials = 2000, 10, 200
+	root := rng.New(9)
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		v := NewReservoir[int](k)
+		for i := 0; i < n; i++ {
+			v.Offer(i, r)
+		}
+		total += v.TotalAdmitted()
+	}
+	mean := float64(total) / trials
+	upper := 2 * float64(k) * math.Log(n)
+	if mean > upper {
+		t.Fatalf("mean admitted %v exceeds 2k ln n = %v", mean, upper)
+	}
+	if mean < float64(k) {
+		t.Fatalf("mean admitted %v below k", mean)
+	}
+}
+
+func TestReservoirPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0) did not panic")
+		}
+	}()
+	NewReservoir[int](0)
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := rng.New(10)
+	v := NewReservoir[int](3)
+	for i := 0; i < 10; i++ {
+		v.Offer(i, r)
+	}
+	v.Reset()
+	if v.Len() != 0 || v.Rounds() != 0 || v.TotalAdmitted() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestReservoirNeverExceedsCapacityProperty(t *testing.T) {
+	root := rng.New(11)
+	f := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw) + 1
+		r := root.Split()
+		v := NewReservoir[int](k)
+		for i := 0; i < n; i++ {
+			v.Offer(i, r)
+			if v.Len() > k || v.Len() > v.Rounds() {
+				return false
+			}
+		}
+		want := n
+		if k < n {
+			want = k
+		}
+		return v.Len() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirSampleSubsetOfStream(t *testing.T) {
+	root := rng.New(12)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw) + 1
+		r := root.Split()
+		v := NewReservoir[int64](7)
+		seen := make(map[int64]bool)
+		for i := 0; i < n; i++ {
+			x := int64(i * 3)
+			seen[x] = true
+			v.Offer(x, r)
+		}
+		for _, x := range v.View() {
+			if !seen[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedReservoirFavorsHeavy(t *testing.T) {
+	// One element has weight 50, the rest weight 1; the heavy element
+	// should be present in the sample almost always.
+	const trials = 2000
+	root := rng.New(13)
+	present := 0
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		w := NewWeightedReservoir[int](5)
+		for i := 0; i < 100; i++ {
+			weight := 1.0
+			if i == 37 {
+				weight = 50
+			}
+			w.Offer(i, weight, r)
+		}
+		for _, x := range w.View() {
+			if x == 37 {
+				present++
+				break
+			}
+		}
+	}
+	if rate := float64(present) / trials; rate < 0.85 {
+		t.Fatalf("heavy element present only %v of the time", rate)
+	}
+}
+
+func TestWeightedReservoirUniformWhenEqualWeights(t *testing.T) {
+	// With equal weights, inclusion should be (close to) uniform k/n.
+	const n, k, trials = 20, 5, 30000
+	counts := make([]int, n)
+	root := rng.New(14)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		w := NewWeightedReservoir[int](k)
+		for i := 0; i < n; i++ {
+			w.Offer(i, 1, r)
+		}
+		for _, x := range w.View() {
+			counts[x]++
+		}
+	}
+	want := float64(trials) * k / n
+	sd := math.Sqrt(want)
+	for pos, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Fatalf("position %d count %d, want ~%v", pos, c, want)
+		}
+	}
+}
+
+func TestWeightedReservoirRejectsBadWeights(t *testing.T) {
+	r := rng.New(15)
+	w := NewWeightedReservoir[int](3)
+	if w.Offer(1, 0, r) || w.Offer(2, -1, r) || w.Offer(3, math.NaN(), r) {
+		t.Fatal("non-positive weight admitted")
+	}
+	if w.Len() != 0 {
+		t.Fatal("bad-weight elements stored")
+	}
+}
+
+func TestWeightedReservoirCapacityAndReset(t *testing.T) {
+	r := rng.New(16)
+	w := NewWeightedReservoir[int](4)
+	for i := 0; i < 100; i++ {
+		w.Offer(i, 1, r)
+		if w.Len() > 4 {
+			t.Fatal("capacity exceeded")
+		}
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Rounds() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWeightedReservoirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWeightedReservoir[int](0)
+}
+
+func TestWithReplacementFirstFillsAll(t *testing.T) {
+	r := rng.New(17)
+	s := NewWithReplacement[int64](8)
+	if s.Len() != 0 || s.View() != nil {
+		t.Fatal("pre-stream state should be empty")
+	}
+	s.Offer(42, r)
+	if s.Len() != 8 {
+		t.Fatal("first element should fill all slots")
+	}
+	for _, x := range s.View() {
+		if x != 42 {
+			t.Fatal("slots not initialized to first element")
+		}
+	}
+}
+
+func TestWithReplacementUniformSlots(t *testing.T) {
+	// Each slot is an independent uniform sample: slot 0 should hold
+	// element i with probability 1/n for each i.
+	const n, trials = 10, 40000
+	counts := make([]int, n)
+	root := rng.New(18)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		s := NewWithReplacement[int](3)
+		for i := 0; i < n; i++ {
+			s.Offer(i, r)
+		}
+		counts[s.View()[0]]++
+	}
+	want := float64(trials) / n
+	sd := math.Sqrt(want)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Fatalf("slot held element %d %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestWithReplacementReset(t *testing.T) {
+	r := rng.New(19)
+	s := NewWithReplacement[int](2)
+	s.Offer(5, r)
+	s.Reset()
+	if s.Len() != 0 || s.Rounds() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWithReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWithReplacement[int](0)
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int64{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("not sorted: %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func BenchmarkBernoulliOffer(b *testing.B) {
+	r := rng.New(1)
+	s := NewBernoulli[int64](0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i), r)
+	}
+}
+
+func BenchmarkReservoirOffer(b *testing.B) {
+	r := rng.New(1)
+	s := NewReservoir[int64](1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i), r)
+	}
+}
+
+func BenchmarkWeightedReservoirOffer(b *testing.B) {
+	r := rng.New(1)
+	s := NewWeightedReservoir[int64](1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i), 1+float64(i%7), r)
+	}
+}
+
+func BenchmarkWithReplacementOffer(b *testing.B) {
+	r := rng.New(1)
+	s := NewWithReplacement[int64](1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(int64(i), r)
+	}
+}

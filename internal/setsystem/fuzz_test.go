@@ -1,0 +1,67 @@
+package setsystem
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeSeq turns fuzz bytes into a sequence over [1, 16].
+func decodeSeq(data []byte) []int64 {
+	out := make([]int64, 0, len(data))
+	for _, b := range data {
+		out = append(out, int64(b%16)+1)
+	}
+	return out
+}
+
+// FuzzIntervalDiscrepancyMatchesBrute cross-checks the O((n+s) log) interval
+// discrepancy against the quadratic brute-force oracle on arbitrary inputs.
+func FuzzIntervalDiscrepancyMatchesBrute(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2})
+	f.Add([]byte{}, []byte{5})
+	f.Add([]byte{7, 7, 7, 7}, []byte{7, 9})
+	f.Add([]byte{0, 255, 128}, []byte{})
+	f.Fuzz(func(t *testing.T, streamRaw, sampleRaw []byte) {
+		if len(streamRaw) > 64 || len(sampleRaw) > 32 {
+			return
+		}
+		stream := decodeSeq(streamRaw)
+		sample := decodeSeq(sampleRaw)
+		fast := NewIntervals(16).MaxDiscrepancy(stream, sample)
+		brute := BruteMaxDiscrepancy(16, stream, sample)
+		if math.Abs(fast.Err-brute.Err) > 1e-9 {
+			t.Fatalf("fast %v != brute %v (stream=%v sample=%v)",
+				fast.Err, brute.Err, stream, sample)
+		}
+		if fast.Err < 0 || fast.Err > 1+1e-12 {
+			t.Fatalf("discrepancy out of [0,1]: %v", fast.Err)
+		}
+		// Witness must achieve the reported error.
+		if len(stream) > 0 {
+			got := math.Abs(Density(stream, fast.Lo, fast.Hi) - Density(sample, fast.Lo, fast.Hi))
+			if math.Abs(got-fast.Err) > 1e-9 {
+				t.Fatalf("witness [%d,%d] achieves %v, reported %v",
+					fast.Lo, fast.Hi, got, fast.Err)
+			}
+		}
+	})
+}
+
+// FuzzPrefixDiscrepancyMatchesBrute is the prefix-system analogue.
+func FuzzPrefixDiscrepancyMatchesBrute(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2})
+	f.Add([]byte{9}, []byte{})
+	f.Fuzz(func(t *testing.T, streamRaw, sampleRaw []byte) {
+		if len(streamRaw) > 64 || len(sampleRaw) > 32 {
+			return
+		}
+		stream := decodeSeq(streamRaw)
+		sample := decodeSeq(sampleRaw)
+		fast := NewPrefixes(16).MaxDiscrepancy(stream, sample)
+		brute := BrutePrefixDiscrepancy(16, stream, sample)
+		if math.Abs(fast.Err-brute.Err) > 1e-9 {
+			t.Fatalf("fast %v != brute %v (stream=%v sample=%v)",
+				fast.Err, brute.Err, stream, sample)
+		}
+	})
+}

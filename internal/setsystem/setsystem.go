@@ -1,0 +1,389 @@
+// Package setsystem implements the set systems (U, R) of the paper over a
+// well-ordered integer universe U = {1, ..., N}, together with *exact*
+// computation of the epsilon-approximation error of Definition 1.1:
+//
+//	err(X, S) = sup_{R in R} | d_R(X) - d_R(S) |,
+//
+// where d_R(T) is the fraction of elements of the sequence T lying in R.
+//
+// Exactness matters: the verdict step of AdaptiveGame (Figure 1) asks whether
+// the sample is an epsilon-approximation, and an approximate verdict would
+// contaminate every measured failure probability. For the ordered systems the
+// paper uses, the supremum reduces to extrema of the CDF-difference function
+// and is computed in O((n+s) log(n+s)).
+//
+// The systems provided are exactly those the paper works with:
+//
+//   - Prefixes  R = {[1, b] : b in U}     (Theorem 1.3, Corollary 1.5)
+//   - Intervals R = {[a, b] : a <= b}     (Section 1, quantile discussion)
+//   - Singletons R = {{a} : a in U}       (Corollary 1.6, heavy hitters)
+//   - Suffixes  R = {[b, N] : b in U}     (halfline complement, center points)
+package setsystem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Discrepancy reports the maximal density deviation between a stream and a
+// sample, together with a witnessing range [Lo, Hi] achieving it.
+type Discrepancy struct {
+	Err    float64
+	Lo, Hi int64
+}
+
+func (d Discrepancy) String() string {
+	return fmt.Sprintf("err=%.5f witness=[%d,%d]", d.Err, d.Lo, d.Hi)
+}
+
+// SetSystem is a family of ranges over the universe [1, N] supporting exact
+// discrepancy computation.
+type SetSystem interface {
+	// Name identifies the system in tables ("prefixes", "intervals", ...).
+	Name() string
+	// UniverseSize returns N.
+	UniverseSize() int64
+	// LogCardinality returns ln|R|, the term that replaces the
+	// VC-dimension in Theorem 1.2.
+	LogCardinality() float64
+	// VCDim returns the VC-dimension of the system, the term governing
+	// the static (non-adaptive) sample bound.
+	VCDim() int
+	// MaxDiscrepancy returns sup_{R} |d_R(stream) - d_R(sample)| exactly.
+	// Both inputs may be in arbitrary order; they are not mutated. An
+	// empty sample against a non-empty stream has discrepancy 1 (the
+	// paper requires samples to be non-empty; the game treats this as a
+	// failure).
+	MaxDiscrepancy(stream, sample []int64) Discrepancy
+}
+
+// Prefixes is the one-sided interval system {[1, b] : b in U} with
+// VC-dimension 1 and |R| = N. It is the set system of Theorem 1.3 and of the
+// quantile application (Corollary 1.5).
+type Prefixes struct{ n int64 }
+
+// NewPrefixes returns the prefix system over [1, n]. It panics if n < 1.
+func NewPrefixes(n int64) Prefixes {
+	if n < 1 {
+		panic("setsystem: universe must have size >= 1")
+	}
+	return Prefixes{n: n}
+}
+
+func (p Prefixes) Name() string            { return "prefixes" }
+func (p Prefixes) UniverseSize() int64     { return p.n }
+func (p Prefixes) LogCardinality() float64 { return math.Log(float64(p.n)) }
+func (p Prefixes) VCDim() int              { return 1 }
+
+// MaxDiscrepancy computes sup_b |F_X(b) - F_S(b)|, the Kolmogorov-Smirnov
+// distance between the empirical distributions restricted to [1, N].
+func (p Prefixes) MaxDiscrepancy(stream, sample []int64) Discrepancy {
+	return cdfScan(stream, sample, false)
+}
+
+// Intervals is the two-sided system {[a, b] : a <= b in U}, including all
+// singletons [a, a]. |R| = N(N+1)/2 and the VC-dimension is 2.
+type Intervals struct{ n int64 }
+
+// NewIntervals returns the interval system over [1, n]. It panics if n < 1.
+func NewIntervals(n int64) Intervals {
+	if n < 1 {
+		panic("setsystem: universe must have size >= 1")
+	}
+	return Intervals{n: n}
+}
+
+func (iv Intervals) Name() string        { return "intervals" }
+func (iv Intervals) UniverseSize() int64 { return iv.n }
+
+func (iv Intervals) LogCardinality() float64 {
+	n := float64(iv.n)
+	return math.Log(n*(n+1)) - math.Log(2)
+}
+
+func (iv Intervals) VCDim() int { return 2 }
+
+// MaxDiscrepancy computes the supremum over all intervals. Writing
+// D(t) = F_X(t) - F_S(t) for the CDF difference (with D(0) = 0), the density
+// deviation of [a, b] is D(b) - D(a-1), so the supremum of its absolute value
+// equals max_t D(t) - min_t D(t).
+func (iv Intervals) MaxDiscrepancy(stream, sample []int64) Discrepancy {
+	return cdfScan(stream, sample, true)
+}
+
+// Singletons is the system {{a} : a in U} with |R| = N and VC-dimension 1.
+// It underlies the heavy-hitters application (Corollary 1.6).
+type Singletons struct{ n int64 }
+
+// NewSingletons returns the singleton system over [1, n]. It panics if n < 1.
+func NewSingletons(n int64) Singletons {
+	if n < 1 {
+		panic("setsystem: universe must have size >= 1")
+	}
+	return Singletons{n: n}
+}
+
+func (s Singletons) Name() string            { return "singletons" }
+func (s Singletons) UniverseSize() int64     { return s.n }
+func (s Singletons) LogCardinality() float64 { return math.Log(float64(s.n)) }
+func (s Singletons) VCDim() int              { return 1 }
+
+// MaxDiscrepancy computes max_v |freq_X(v)/|X| - freq_S(v)/|S||.
+func (s Singletons) MaxDiscrepancy(stream, sample []int64) Discrepancy {
+	if len(stream) == 0 {
+		return Discrepancy{}
+	}
+	if len(sample) == 0 {
+		// Every non-empty value witnesses its own stream density; the
+		// maximal one is the heaviest element.
+		counts := make(map[int64]int, len(stream))
+		for _, x := range stream {
+			counts[x]++
+		}
+		best := Discrepancy{}
+		for v, c := range counts {
+			d := float64(c) / float64(len(stream))
+			if d > best.Err {
+				best = Discrepancy{Err: d, Lo: v, Hi: v}
+			}
+		}
+		return best
+	}
+	nx := float64(len(stream))
+	ns := float64(len(sample))
+	cx := make(map[int64]int, len(stream))
+	for _, x := range stream {
+		cx[x]++
+	}
+	cs := make(map[int64]int, len(sample))
+	for _, x := range sample {
+		cs[x]++
+	}
+	best := Discrepancy{}
+	for v, c := range cx {
+		d := math.Abs(float64(c)/nx - float64(cs[v])/ns)
+		if d > best.Err {
+			best = Discrepancy{Err: d, Lo: v, Hi: v}
+		}
+	}
+	for v, c := range cs {
+		if _, ok := cx[v]; ok {
+			continue
+		}
+		d := float64(c) / ns
+		if d > best.Err {
+			best = Discrepancy{Err: d, Lo: v, Hi: v}
+		}
+	}
+	return best
+}
+
+// Suffixes is the system {[b, N] : b in U}. Its discrepancy equals that of
+// Prefixes on the complemented CDF; it is provided for the center-point
+// application where halflines in both directions are needed.
+type Suffixes struct{ n int64 }
+
+// NewSuffixes returns the suffix system over [1, n]. It panics if n < 1.
+func NewSuffixes(n int64) Suffixes {
+	if n < 1 {
+		panic("setsystem: universe must have size >= 1")
+	}
+	return Suffixes{n: n}
+}
+
+func (s Suffixes) Name() string            { return "suffixes" }
+func (s Suffixes) UniverseSize() int64     { return s.n }
+func (s Suffixes) LogCardinality() float64 { return math.Log(float64(s.n)) }
+func (s Suffixes) VCDim() int              { return 1 }
+
+// MaxDiscrepancy computes sup_b |d_[b,N](X) - d_[b,N](S)|. Since
+// d_[b,N](T) = 1 - F_T(b-1), this equals sup over prefixes [1, b-1] with
+// b-1 ranging over {0, ..., N-1}; the b-1 = 0 case contributes zero, so the
+// value coincides with the prefix discrepancy except that the witness is
+// reported as a suffix.
+func (s Suffixes) MaxDiscrepancy(stream, sample []int64) Discrepancy {
+	d := cdfScan(stream, sample, false)
+	// Convert witness [1, b] to the complementary suffix [b+1, N].
+	lo := d.Hi + 1
+	if lo > s.n {
+		lo = s.n
+	}
+	return Discrepancy{Err: d.Err, Lo: lo, Hi: s.n}
+}
+
+// cdfScan walks the merged sorted values of stream and sample tracking the
+// CDF difference D(t) = F_X(t) - F_S(t). With twoSided=false it returns
+// max_t |D(t)| (prefix discrepancy with witness [1, t]); with twoSided=true
+// it returns max_t D(t) - min_t D(t) (interval discrepancy with the interval
+// between the extremal points as witness).
+func cdfScan(stream, sample []int64, twoSided bool) Discrepancy {
+	if len(stream) == 0 {
+		return Discrepancy{}
+	}
+	if len(sample) == 0 {
+		// The range containing everything (or the full prefix) has
+		// density 1 in the stream and 0 in the empty sample.
+		min, max := stream[0], stream[0]
+		for _, v := range stream {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if twoSided {
+			return Discrepancy{Err: 1, Lo: min, Hi: max}
+		}
+		return Discrepancy{Err: 1, Lo: 1, Hi: max}
+	}
+
+	xs := append([]int64(nil), stream...)
+	ss := append([]int64(nil), sample...)
+	sortInt64(xs)
+	sortInt64(ss)
+
+	nx := float64(len(xs))
+	ns := float64(len(ss))
+
+	var i, j int
+	d := 0.0 // current D(t)
+
+	// One-sided tracking.
+	bestAbs := 0.0
+	var bestAbsAt int64
+
+	// Two-sided tracking: extrema of D and their positions. D(0) = 0 is a
+	// valid baseline (the empty prefix), represented by position 0.
+	maxD, minD := 0.0, 0.0
+	var maxAt, minAt int64 = 0, 0
+
+	for i < len(xs) || j < len(ss) {
+		var t int64
+		switch {
+		case i >= len(xs):
+			t = ss[j]
+		case j >= len(ss):
+			t = xs[i]
+		case xs[i] <= ss[j]:
+			t = xs[i]
+		default:
+			t = ss[j]
+		}
+		for i < len(xs) && xs[i] == t {
+			d += 1 / nx
+			i++
+		}
+		for j < len(ss) && ss[j] == t {
+			d -= 1 / ns
+			j++
+		}
+		if a := math.Abs(d); a > bestAbs {
+			bestAbs = a
+			bestAbsAt = t
+		}
+		if d > maxD {
+			maxD = d
+			maxAt = t
+		}
+		if d < minD {
+			minD = d
+			minAt = t
+		}
+	}
+
+	if !twoSided {
+		return Discrepancy{Err: bestAbs, Lo: 1, Hi: bestAbsAt}
+	}
+	err := maxD - minD
+	lo, hi := minAt+1, maxAt
+	if maxAt < minAt {
+		lo, hi = maxAt+1, minAt
+	}
+	if lo > hi {
+		// Degenerate: both extrema at the baseline; no deviation.
+		lo, hi = 1, 1
+	}
+	return Discrepancy{Err: err, Lo: lo, Hi: hi}
+}
+
+func sortInt64(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// Density returns d_R(T) for the explicit range [lo, hi]: the fraction of
+// elements of seq lying in [lo, hi]. It returns 0 for an empty sequence.
+func Density(seq []int64, lo, hi int64) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range seq {
+		if x >= lo && x <= hi {
+			count++
+		}
+	}
+	return float64(count) / float64(len(seq))
+}
+
+// IsEpsApproximation reports whether sample is an eps-approximation of
+// stream with respect to the set system, per Definition 1.1.
+func IsEpsApproximation(sys SetSystem, stream, sample []int64, eps float64) bool {
+	return sys.MaxDiscrepancy(stream, sample).Err <= eps
+}
+
+// BruteMaxDiscrepancy computes the interval discrepancy by enumerating every
+// interval [a, b] with endpoints among the values present in either sequence
+// (plus universe boundaries). It is O(V^2 * (n+s)) and exists solely as a
+// test oracle for the fast implementations.
+func BruteMaxDiscrepancy(universe int64, stream, sample []int64) Discrepancy {
+	if len(stream) == 0 {
+		return Discrepancy{}
+	}
+	valueSet := map[int64]bool{1: true, universe: true}
+	for _, v := range stream {
+		valueSet[v] = true
+	}
+	for _, v := range sample {
+		valueSet[v] = true
+	}
+	values := make([]int64, 0, len(valueSet))
+	for v := range valueSet {
+		values = append(values, v)
+	}
+	sortInt64(values)
+	best := Discrepancy{Lo: 1, Hi: 1}
+	for i, a := range values {
+		for _, b := range values[i:] {
+			d := math.Abs(Density(stream, a, b) - Density(sample, a, b))
+			if d > best.Err {
+				best = Discrepancy{Err: d, Lo: a, Hi: b}
+			}
+		}
+	}
+	return best
+}
+
+// BrutePrefixDiscrepancy is the prefix analogue of BruteMaxDiscrepancy,
+// enumerating every prefix [1, b].
+func BrutePrefixDiscrepancy(universe int64, stream, sample []int64) Discrepancy {
+	if len(stream) == 0 {
+		return Discrepancy{}
+	}
+	valueSet := map[int64]bool{universe: true}
+	for _, v := range stream {
+		valueSet[v] = true
+	}
+	for _, v := range sample {
+		valueSet[v] = true
+	}
+	best := Discrepancy{Lo: 1, Hi: 1}
+	for b := range valueSet {
+		d := math.Abs(Density(stream, 1, b) - Density(sample, 1, b))
+		if d > best.Err {
+			best = Discrepancy{Err: d, Lo: 1, Hi: b}
+		}
+	}
+	return best
+}

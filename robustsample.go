@@ -1,0 +1,243 @@
+// Package robustsample is a Go implementation of
+//
+//	"The Adversarial Robustness of Sampling"
+//	Omri Ben-Eliezer and Eylon Yogev, PODS 2020 (arXiv:1906.11327)
+//
+// It provides the two sampling algorithms the paper analyzes — Bernoulli
+// sampling and reservoir sampling (Vitter's Algorithm R) — together with:
+//
+//   - sample-size calculators implementing Theorem 1.2 (adversarial
+//     robustness), Theorem 1.4 (continuous robustness) and the classical
+//     static VC bounds, so callers can pick parameters that guarantee an
+//     eps-approximation even against fully adaptive adversaries;
+//   - the adversarial game of Section 2 (AdaptiveGame), exact
+//     eps-approximation verdicts for the ordered set systems the paper
+//     uses (prefixes, intervals, singletons, suffixes), and the Figure-3
+//     bisection attack of Section 5, including an exact unbounded-universe
+//     simulation;
+//   - the applications of Section 1.2 as subpackages: quantile sketches,
+//     heavy hitters, range queries, center points, clustering
+//     acceleration and distributed-routing simulation (see
+//     internal/... for the full inventory, and cmd/robustbench for the
+//     experiment harness reproducing every claim).
+//
+// # Quick start
+//
+//	params := robustsample.Params{Eps: 0.1, Delta: 0.05, N: 100000}
+//	sys := robustsample.NewPrefixes(1 << 20)
+//	res := robustsample.NewRobustReservoir(params, sys)
+//	r := robustsample.NewRNG(42)
+//	for _, x := range stream {
+//	    res.Offer(x, r)
+//	}
+//	// res.View() is an eps-approximation of the stream with probability
+//	// >= 1-delta, no matter how adaptively the stream was chosen.
+package robustsample
+
+import (
+	"robustsample/internal/adversary"
+	"robustsample/internal/core"
+	"robustsample/internal/game"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+// RNG is the deterministic, splittable random source used by all samplers
+// and games.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator seeded from seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Params bundles an approximation target (eps, delta) for a stream of
+// length N.
+type Params = core.Params
+
+// SetSystem is a family of ranges over an ordered integer universe with
+// exact discrepancy computation (Definition 1.1).
+type SetSystem = setsystem.SetSystem
+
+// Discrepancy reports a maximal density deviation and a witnessing range.
+type Discrepancy = setsystem.Discrepancy
+
+// NewPrefixes returns the one-sided interval system {[1,b]} over [1, n]
+// (VC-dimension 1, |R| = n) — the system of Theorem 1.3 and Corollary 1.5.
+func NewPrefixes(n int64) SetSystem { return setsystem.NewPrefixes(n) }
+
+// NewIntervals returns the system of all intervals {[a,b]} over [1, n].
+func NewIntervals(n int64) SetSystem { return setsystem.NewIntervals(n) }
+
+// NewSingletons returns the system {{a}} over [1, n] used by the
+// heavy-hitters application (Corollary 1.6).
+func NewSingletons(n int64) SetSystem { return setsystem.NewSingletons(n) }
+
+// NewSuffixes returns the system {[b,n]} over [1, n].
+func NewSuffixes(n int64) SetSystem { return setsystem.NewSuffixes(n) }
+
+// IsEpsApproximation reports whether sample is an eps-approximation of
+// stream with respect to sys (Definition 1.1).
+func IsEpsApproximation(sys SetSystem, stream, sample []int64, eps float64) bool {
+	return setsystem.IsEpsApproximation(sys, stream, sample, eps)
+}
+
+// BernoulliSampler keeps each element independently with probability P.
+type BernoulliSampler = sampler.Bernoulli[int64]
+
+// ReservoirSampler maintains a uniform fixed-size sample via Vitter's
+// Algorithm R, exactly as the paper's Section 2 pseudocode.
+type ReservoirSampler = sampler.Reservoir[int64]
+
+// WeightedReservoirSampler is the Efraimidis-Spirakis weighted extension
+// discussed in Section 1.3.
+type WeightedReservoirSampler = sampler.WeightedReservoir[int64]
+
+// NewBernoulli returns a Bernoulli sampler with rate p in [0, 1].
+func NewBernoulli(p float64) *BernoulliSampler { return sampler.NewBernoulli[int64](p) }
+
+// NewReservoir returns a reservoir sampler with memory k >= 1.
+func NewReservoir(k int) *ReservoirSampler { return sampler.NewReservoir[int64](k) }
+
+// NewWeightedReservoir returns a weighted reservoir sampler with memory k.
+func NewWeightedReservoir(k int) *WeightedReservoirSampler {
+	return sampler.NewWeightedReservoir[int64](k)
+}
+
+// BernoulliRate returns the Theorem 1.2 rate making BernoulliSample
+// (eps, delta)-robust for a set system with the given ln|R|.
+func BernoulliRate(p Params, logCardinality float64) float64 {
+	return core.BernoulliRate(p, logCardinality)
+}
+
+// ReservoirSize returns the Theorem 1.2 memory size making ReservoirSample
+// (eps, delta)-robust for a set system with the given ln|R|.
+func ReservoirSize(p Params, logCardinality float64) int {
+	return core.ReservoirSize(p, logCardinality)
+}
+
+// ContinuousReservoirSize returns the Theorem 1.4 memory size making
+// ReservoirSample (eps, delta)-continuously robust.
+func ContinuousReservoirSize(p Params, logCardinality float64) int {
+	return core.ContinuousReservoirSize(p, logCardinality)
+}
+
+// StaticReservoirSize returns the classical non-adaptive size, with the
+// VC-dimension in place of ln|R| — NOT sufficient against adaptive
+// adversaries in general (Theorem 1.3).
+func StaticReservoirSize(p Params, vcDim int) int {
+	return core.StaticReservoirSize(p, vcDim)
+}
+
+// StaticContinuousReservoirSize is the "Moreover" clause of Theorem 1.4:
+// continuous robustness against static adversaries only, with the
+// VC-dimension in place of ln|R|.
+func StaticContinuousReservoirSize(p Params, vcDim int) int {
+	return core.StaticContinuousReservoirSize(p, vcDim)
+}
+
+// ReservoirLSampler is Vitter's Algorithm L: identical sample distribution
+// to ReservoirSampler at O(k log(n/k)) expected random draws — the
+// high-throughput variant, equally robust (admissions are value-oblivious).
+type ReservoirLSampler = sampler.ReservoirL[int64]
+
+// NewReservoirL returns an Algorithm L reservoir with memory k >= 1.
+func NewReservoirL(k int) *ReservoirLSampler { return sampler.NewReservoirL[int64](k) }
+
+// NewRobustBernoulli builds a Bernoulli sampler parameterized per Theorem
+// 1.2 for the given set system.
+func NewRobustBernoulli(p Params, sys SetSystem) *BernoulliSampler {
+	return core.NewRobustBernoulli(p, sys)
+}
+
+// NewRobustReservoir builds a reservoir sampler parameterized per Theorem
+// 1.2 for the given set system.
+func NewRobustReservoir(p Params, sys SetSystem) *ReservoirSampler {
+	return core.NewRobustReservoir(p, sys)
+}
+
+// NewContinuousRobustReservoir builds a reservoir sampler parameterized per
+// Theorem 1.4 for the given set system.
+func NewContinuousRobustReservoir(p Params, sys SetSystem) *ReservoirSampler {
+	return core.NewContinuousRobustReservoir(p, sys)
+}
+
+// QuantileSketchSize returns the Corollary 1.5 reservoir size for an
+// (eps, delta)-robust quantile sketch over a universe of the given size.
+func QuantileSketchSize(p Params, universeSize int64) int {
+	return core.QuantileSketchSize(p, universeSize)
+}
+
+// HeavyHitterSize returns the Corollary 1.6 reservoir size for solving
+// (alpha, eps) heavy hitters robustly.
+func HeavyHitterSize(eps, delta float64, n int, universeSize int64) int {
+	return core.HeavyHitterSize(eps, delta, n, universeSize)
+}
+
+// Sampler is the streaming-player interface of the adversarial game.
+type Sampler = game.Sampler
+
+// Adversary chooses the stream adaptively given full view of the sample.
+type Adversary = game.Adversary
+
+// Observation is the information an adversary sees each round (Figure 1).
+type Observation = game.Observation
+
+// GameResult is the outcome of one AdaptiveGame.
+type GameResult = game.Result
+
+// ContinuousGameResult is the outcome of one ContinuousAdaptiveGame.
+type ContinuousGameResult = game.ContinuousResult
+
+// RunGame plays one AdaptiveGame (Figure 1) of n rounds and reports the
+// exact eps-approximation verdict.
+func RunGame(s Sampler, adv Adversary, sys SetSystem, n int, eps float64, r *RNG) GameResult {
+	return game.Run(s, adv, sys, n, eps, r)
+}
+
+// RunContinuousGame plays one ContinuousAdaptiveGame (Figure 2), evaluating
+// the verdict at the given checkpoints (the final round is always checked).
+func RunContinuousGame(s Sampler, adv Adversary, sys SetSystem, n int, eps float64, checkpoints []int, r *RNG) ContinuousGameResult {
+	return game.RunContinuous(s, adv, sys, n, eps, checkpoints, r)
+}
+
+// Checkpoints returns the Theorem 1.4 geometric checkpoint schedule.
+func Checkpoints(start, n int, gamma float64) []int {
+	return game.Checkpoints(start, n, gamma)
+}
+
+// NewBisectionAttack returns the Figure-3 adversary over [1, universe] with
+// split parameter pPrime in (0, 1).
+func NewBisectionAttack(universe int64, pPrime float64) Adversary {
+	return adversary.NewBisection(universe, pPrime)
+}
+
+// NewStaticUniformAdversary returns a non-adaptive i.i.d.-uniform stream
+// generator over [1, universe].
+func NewStaticUniformAdversary(universe int64) Adversary {
+	return adversary.NewStaticUniform(universe)
+}
+
+// AttackResult is the outcome of an exact unbounded-universe bisection
+// attack (Section 5), with the stream relabeled to ranks 1..n.
+type AttackResult = adversary.AttackResult
+
+// RunBisectionAttackBernoulli simulates the Section 5 attack against
+// BernoulliSample(p) over an unbounded ordered universe.
+func RunBisectionAttackBernoulli(n int, p float64, r *RNG) AttackResult {
+	return adversary.RunExactBisectionBernoulli(n, p, r)
+}
+
+// RunBisectionAttackReservoir simulates the Section 5 attack against
+// ReservoirSample(k) over an unbounded ordered universe.
+func RunBisectionAttackReservoir(n, k int, r *RNG) AttackResult {
+	return adversary.RunExactBisectionReservoir(n, k, r)
+}
+
+// RobustnessEstimate is a Monte-Carlo robustness measurement.
+type RobustnessEstimate = core.RobustnessEstimate
+
+// EstimateRobustness plays repeated adaptive games and reports the
+// empirical failure rate of the eps-approximation verdict.
+func EstimateRobustness(mkSampler func() Sampler, mkAdv func() Adversary, sys SetSystem, p Params, trials int, root *RNG) RobustnessEstimate {
+	return core.EstimateRobustness(mkSampler, mkAdv, sys, p, trials, root)
+}

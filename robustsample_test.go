@@ -1,0 +1,140 @@
+package robustsample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartPipeline(t *testing.T) {
+	params := Params{Eps: 0.2, Delta: 0.1, N: 5000}
+	sys := NewPrefixes(1 << 20)
+	res := NewRobustReservoir(params, sys)
+	r := NewRNG(42)
+	stream := make([]int64, params.N)
+	for i := range stream {
+		stream[i] = 1 + r.Int63n(1<<20)
+		res.Offer(stream[i], r)
+	}
+	d := sys.MaxDiscrepancy(stream, res.View())
+	if d.Err > params.Eps {
+		t.Fatalf("robust reservoir error %v exceeds eps %v", d.Err, params.Eps)
+	}
+	if !IsEpsApproximation(sys, stream, res.View(), params.Eps) {
+		t.Fatal("IsEpsApproximation disagrees with MaxDiscrepancy")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if NewBernoulli(0.5).P != 0.5 {
+		t.Fatal("NewBernoulli")
+	}
+	if NewReservoir(7).K != 7 {
+		t.Fatal("NewReservoir")
+	}
+	if NewWeightedReservoir(3).K != 3 {
+		t.Fatal("NewWeightedReservoir")
+	}
+	for _, sys := range []SetSystem{NewPrefixes(10), NewIntervals(10), NewSingletons(10), NewSuffixes(10)} {
+		if sys.UniverseSize() != 10 {
+			t.Fatalf("%s universe wrong", sys.Name())
+		}
+	}
+}
+
+func TestSizeCalculatorsConsistent(t *testing.T) {
+	p := Params{Eps: 0.1, Delta: 0.1, N: 100000}
+	sys := NewPrefixes(1 << 20)
+	if NewRobustReservoir(p, sys).K != ReservoirSize(p, sys.LogCardinality()) {
+		t.Fatal("robust reservoir size mismatch")
+	}
+	if NewRobustBernoulli(p, sys).P != BernoulliRate(p, sys.LogCardinality()) {
+		t.Fatal("robust bernoulli rate mismatch")
+	}
+	if NewContinuousRobustReservoir(p, sys).K != ContinuousReservoirSize(p, sys.LogCardinality()) {
+		t.Fatal("continuous size mismatch")
+	}
+	if StaticReservoirSize(p, sys.VCDim()) >= ReservoirSize(p, sys.LogCardinality()) {
+		t.Fatal("static size should be smaller than adaptive size")
+	}
+	if QuantileSketchSize(p, 1<<20) != ReservoirSize(p, math.Log(1<<20)) {
+		t.Fatal("quantile size mismatch")
+	}
+	if HeavyHitterSize(0.3, 0.1, 100000, 1<<20) <= 0 {
+		t.Fatal("HH size")
+	}
+}
+
+func TestRunGameThroughFacade(t *testing.T) {
+	r := NewRNG(1)
+	res := RunGame(NewReservoir(50), NewStaticUniformAdversary(1<<16), NewPrefixes(1<<16), 2000, 0.5, r)
+	if len(res.Stream) != 2000 {
+		t.Fatal("stream length")
+	}
+	if !res.OK {
+		t.Fatalf("benign game failed: %v", res)
+	}
+}
+
+func TestRunContinuousGameThroughFacade(t *testing.T) {
+	r := NewRNG(2)
+	cps := Checkpoints(50, 1000, 0.1)
+	res := RunContinuousGame(NewReservoir(200), NewStaticUniformAdversary(1<<16), NewPrefixes(1<<16), 1000, 0.5, cps, r)
+	if len(res.PrefixErrors) == 0 {
+		t.Fatal("no checkpoints evaluated")
+	}
+}
+
+func TestAttackThroughFacade(t *testing.T) {
+	r := NewRNG(3)
+	res := RunBisectionAttackBernoulli(2000, 0.01, r)
+	if len(res.Stream) != 2000 {
+		t.Fatal("attack stream length")
+	}
+	if !res.SampleIsPrefixOfAdmitted {
+		t.Fatal("attack invariant")
+	}
+	rres := RunBisectionAttackReservoir(2000, 5, r)
+	if len(rres.Sample) != 5 {
+		t.Fatal("reservoir attack sample size")
+	}
+}
+
+func TestBisectionAdversaryThroughGame(t *testing.T) {
+	r := NewRNG(4)
+	adv := NewBisectionAttack(1<<62, 0.02)
+	res := RunGame(NewBernoulli(0.02), adv, NewPrefixes(1<<62), 300, 0.5, r)
+	if len(res.Stream) != 300 {
+		t.Fatal("stream length")
+	}
+}
+
+func TestEstimateRobustnessThroughFacade(t *testing.T) {
+	p := Params{Eps: 0.3, Delta: 0.2, N: 500}
+	est := EstimateRobustness(
+		func() Sampler { return NewReservoir(60) },
+		func() Adversary { return NewStaticUniformAdversary(1 << 16) },
+		NewPrefixes(1<<16), p, 5, NewRNG(5),
+	)
+	if est.Failure.Trials != 5 {
+		t.Fatal("trial count")
+	}
+}
+
+func TestAlgorithmLFacade(t *testing.T) {
+	r := NewRNG(9)
+	v := NewReservoirL(25)
+	if v.K != 25 {
+		t.Fatal("capacity")
+	}
+	res := RunGame(v, NewStaticUniformAdversary(1<<16), NewPrefixes(1<<16), 2000, 0.9, r)
+	if !res.OK || len(res.Sample) != 25 {
+		t.Fatalf("Algorithm L through the game: %v", res)
+	}
+}
+
+func TestStaticContinuousFacade(t *testing.T) {
+	p := Params{Eps: 0.1, Delta: 0.1, N: 1 << 20}
+	if StaticContinuousReservoirSize(p, 1) >= ContinuousReservoirSize(p, math.Log(1<<40)) {
+		t.Fatal("static continuous size should undercut adaptive continuous size")
+	}
+}
