@@ -1,9 +1,9 @@
 package robustsample
 
 // This file holds one benchmark per experiment in DESIGN.md's index
-// (E1-E16), each regenerating the corresponding table of EXPERIMENTS.md at
-// a reduced scale per iteration, plus end-to-end throughput benchmarks of
-// the public API. Run the full-scale tables with:
+// (E1-E17), each regenerating the corresponding table at a reduced scale
+// per iteration, plus end-to-end throughput benchmarks of the public API.
+// Run the full-scale tables with:
 //
 //	go run ./cmd/robustbench -all
 //

@@ -1,14 +1,18 @@
 // Command robustbench runs the experiment harness reproducing every
 // quantitative claim of "The Adversarial Robustness of Sampling"
 // (Ben-Eliezer & Yogev, PODS 2020). Each experiment prints one table;
-// EXPERIMENTS.md records the expected shape next to reference measurements.
+// DESIGN.md indexes the experiments and records the expected shape of each.
+//
+// Monte-Carlo trials fan out across a worker pool (-workers, default all
+// CPUs); tables are byte-identical for every worker count, so -workers only
+// changes wall-clock time.
 //
 // Usage:
 //
 //	robustbench -all                 # run every experiment at full scale
 //	robustbench -exp E3              # run a single experiment
 //	robustbench -list                # list experiment IDs and titles
-//	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7
+//	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7 -workers 4
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -22,17 +26,18 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		exp    = flag.String("exp", "", "run a single experiment by ID (E1..E17)")
-		fig    = flag.String("fig", "", "render a figure by ID (F1, F2)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		seed   = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
-		trials = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
-		scale  = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
+		all     = flag.Bool("all", false, "run every experiment")
+		exp     = flag.String("exp", "", "run a single experiment by ID (E1..E17)")
+		fig     = flag.String("fig", "", "render a figure by ID (F1, F2)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
+		trials  = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
+		scale   = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
+		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
 
 	switch {
 	case *list:

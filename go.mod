@@ -1,0 +1,3 @@
+module robustsample
+
+go 1.22

@@ -1,8 +1,8 @@
 // Package bench is the experiment harness that regenerates every
 // quantitative claim of the paper as a table (the paper is theory-only, so
 // its "tables and figures" are its theorems, corollaries, attack analyses
-// and worked applications; DESIGN.md Section 5 maps each to an experiment ID
-// E1-E17 and EXPERIMENTS.md records expected vs measured shapes).
+// and worked applications; DESIGN.md maps each to an experiment ID E1-E17
+// and records the expected shapes).
 //
 // Each experiment is a pure function of a Config (root seed, trial count,
 // scale knob) producing a Table; tables print with aligned columns and
@@ -16,6 +16,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"robustsample/internal/core"
+	"robustsample/internal/rng"
 )
 
 // Config controls an experiment run.
@@ -25,11 +28,16 @@ type Config struct {
 	// Trials is the number of independent game repetitions per row.
 	Trials int
 	// Scale multiplies stream lengths; 1.0 is the reference size used in
-	// EXPERIMENTS.md, smaller values give quick smoke runs.
+	// DESIGN.md, smaller values give quick smoke runs.
 	Scale float64
+	// Workers is the Monte-Carlo worker-pool size per table row: 0 (the
+	// default) uses runtime.GOMAXPROCS, 1 forces serial execution. Tables
+	// are byte-identical for every worker count — per-trial RNGs are
+	// pre-split sequentially and results reduced in trial order.
+	Workers int
 }
 
-// DefaultConfig is the reference configuration for EXPERIMENTS.md numbers.
+// DefaultConfig is the reference configuration for the DESIGN.md tables.
 func DefaultConfig() Config {
 	return Config{Seed: 20200614, Trials: 40, Scale: 1.0}
 }
@@ -49,6 +57,34 @@ func (c Config) trials() int {
 		return 1
 	}
 	return c.Trials
+}
+
+// forEachTrial runs fn(trial, r) for each trial on the configured worker
+// pool, with per-trial RNGs pre-split sequentially from root so the results
+// are identical to the historical serial loop `r := root.Split(); fn(...)`.
+// fn must write its outputs to per-trial storage; callers reduce in trial
+// order afterwards.
+func (c Config) forEachTrial(root *rng.RNG, fn func(trial int, r *rng.RNG)) {
+	trials := c.trials()
+	rngs := make([]*rng.RNG, trials)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	core.ForEachTrial(trials, c.Workers, func(trial int) {
+		fn(trial, rngs[trial])
+	})
+}
+
+// countTrue returns the number of set flags; trial loops record per-trial
+// outcomes in indexed slices and reduce with it after the parallel fan-out.
+func countTrue(flags []bool) int {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n
 }
 
 // Table is a rendered experiment result.
@@ -130,7 +166,7 @@ func pad(s string, w int) string {
 
 // Experiment couples an ID with its runner.
 type Experiment struct {
-	// ID is the EXPERIMENTS.md identifier.
+	// ID is the DESIGN.md identifier.
 	ID string
 	// Title is a one-line description.
 	Title string

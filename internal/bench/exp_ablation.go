@@ -74,27 +74,29 @@ func ExpE17(cfg Config) *Table {
 	smallK := 10
 	for _, v := range variants {
 		// Static workload at the robust size: errors must be within eps.
-		est := core.EstimateRobustness(
+		est := core.EstimateRobustnessWorkers(
 			v.mk,
 			func() game.Adversary { return adversary.NewStaticUniform(expUniverse) },
-			sys, core.Params{Eps: eps, Delta: delta, N: n}, cfg.trials(), root.Split(),
+			sys, core.Params{Eps: eps, Delta: delta, N: n}, cfg.trials(), cfg.Workers, root.Split(),
 		)
 		t.AddRow(v.name, "static-uniform", k, est.Failure.Rate(), est.Errors.Mean, "-")
 
 		// Exact attack at a tiny size: all variants must be broken the
 		// same way, with k' differing by their admission laws.
-		broke := 0
-		var errs []float64
-		kPrimeSum := 0.0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		errs := make([]float64, cfg.trials())
+		overEps := make([]bool, cfg.trials())
+		kPrimes := make([]float64, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := v.attack(smallK, r)
 			d := setsystem.NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
-			errs = append(errs, d.Err)
-			if d.Err > eps {
-				broke++
-			}
-			kPrimeSum += float64(res.TotalAdmitted)
+			errs[trial] = d.Err
+			overEps[trial] = d.Err > eps
+			kPrimes[trial] = float64(res.TotalAdmitted)
+		})
+		broke := countTrue(overEps)
+		kPrimeSum := 0.0
+		for _, kp := range kPrimes {
+			kPrimeSum += kp
 		}
 		t.AddRow(v.name, "exact-attack(k=10)", smallK,
 			float64(broke)/float64(cfg.trials()), stats.Mean(errs),

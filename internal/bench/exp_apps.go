@@ -70,10 +70,9 @@ func ExpE6(cfg Config) *Table {
 
 	for _, sk := range sketches {
 		for _, wl := range workloads {
-			var errs []float64
-			space := 0
-			for trial := 0; trial < cfg.trials(); trial++ {
-				r := root.Split()
+			errs := make([]float64, cfg.trials())
+			spaces := make([]int, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 				s := sk.mk(r.Split())
 				var stream []int64
 				if wl.gen != nil {
@@ -100,11 +99,11 @@ func ExpE6(cfg Config) *Table {
 						s.Insert(x)
 					}
 				}
-				errs = append(errs, quantile.MaxRankError(s, stream))
-				space = s.Size()
-			}
+				errs[trial] = quantile.MaxRankError(s, stream)
+				spaces[trial] = s.Size()
+			})
 			sum := stats.Summarize(errs)
-			t.AddRow(sk.name, wl.name, space, sum.Mean, sum.Max, eps)
+			t.AddRow(sk.name, wl.name, spaces[cfg.trials()-1], sum.Mean, sum.Max, eps)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -146,9 +145,10 @@ func ExpE7(cfg Config) *Table {
 
 	for _, c := range cases {
 		for _, wl := range workloads {
-			violations, fps, fns := 0, 0, 0
-			for trial := 0; trial < cfg.trials(); trial++ {
-				r := root.Split()
+			incorrect := make([]bool, cfg.trials())
+			trialFPs := make([]int, cfg.trials())
+			trialFNs := make([]int, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 				s := c.mk(r.Split())
 				var stream []int64
 				switch wl {
@@ -179,11 +179,15 @@ func ExpE7(cfg Config) *Table {
 					}
 				}
 				ev := heavyhitter.Evaluate(stream, s.Report(alpha), alpha, eps)
-				if !ev.Correct() {
-					violations++
-				}
-				fps += ev.FalsePositives
-				fns += ev.FalseNegatives
+				incorrect[trial] = !ev.Correct()
+				trialFPs[trial] = ev.FalsePositives
+				trialFNs[trial] = ev.FalseNegatives
+			})
+			violations := countTrue(incorrect)
+			fps, fns := 0, 0
+			for trial := range trialFPs {
+				fps += trialFPs[trial]
+				fns += trialFNs[trial]
 			}
 			tr := float64(cfg.trials())
 			t.AddRow(c.name, c.space, wl, float64(violations)/tr, float64(fps)/tr, float64(fns)/tr)
@@ -216,9 +220,8 @@ func ExpE8(cfg Config) *Table {
 	for _, g := range grids {
 		k := int(math.Ceil(2 * (g.LogCardinality() + math.Log(2/delta)) / (eps * eps)))
 		for _, wl := range []string{"uniform", "corner-stuffer"} {
-			var errs []float64
-			for trial := 0; trial < cfg.trials(); trial++ {
-				r := root.Split()
+			errs := make([]float64, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 				res := sampler.NewReservoir[rangequery.Point](k)
 				cs := rangequery.NewCornerStuffer(g)
 				var stream []rangequery.Point
@@ -233,8 +236,8 @@ func ExpE8(cfg Config) *Table {
 					res.Offer(p, r)
 				}
 				err, _ := rangequery.MaxBoxDiscrepancy(g, stream, res.View())
-				errs = append(errs, err)
-			}
+				errs[trial] = err
+			})
 			sum := stats.Summarize(errs)
 			t.AddRow(g.D, g.M, g.LogCardinality(), k, wl, sum.Mean, sum.Max, eps)
 		}
@@ -257,10 +260,11 @@ func ExpE9(cfg Config) *Table {
 	root := rng.New(cfg.Seed + 13)
 	for _, spec := range []struct{ n, k int }{{2000, 100}, {2000, 400}, {8000, 400}} {
 		n := cfg.scaled(spec.n, 300)
-		var dS, dX, epsList []float64
-		violations := 0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		dS := make([]float64, cfg.trials())
+		dX := make([]float64, cfg.trials())
+		epsList := make([]float64, cfg.trials())
+		violatedT := make([]bool, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			stream := make([]centerpoint.Point2, n)
 			res := sampler.NewReservoir[centerpoint.Point2](spec.k)
 			for i := range stream {
@@ -270,13 +274,12 @@ func ExpE9(cfg Config) *Table {
 			c, depthS := centerpoint.Center2D(res.View())
 			depthX := centerpoint.Depth2D(c, stream)
 			eps := centerpoint.HalfspaceDiscrepancy2D(stream, res.View(), 64, r)
-			dS = append(dS, depthS)
-			dX = append(dX, depthX)
-			epsList = append(epsList, eps)
-			if depthX < depthS-eps-1e-9 {
-				violations++
-			}
-		}
+			dS[trial] = depthS
+			dX[trial] = depthX
+			epsList[trial] = eps
+			violatedT[trial] = depthX < depthS-eps-1e-9
+		})
+		violations := countTrue(violatedT)
 		t.AddRow(n, spec.k, stats.Mean(dS), stats.Mean(dX), stats.Mean(epsList), violations)
 	}
 	t.Notes = append(t.Notes,
@@ -309,11 +312,10 @@ func ExpE12(cfg Config) *Table {
 			{"adaptive-bounded-U", func(r *rng.RNG) distsim.Outcome { return distsim.RunBoundedAdaptiveAttack(k, n, expUniverse, r) }},
 		}
 		for _, ru := range runs {
-			var kss []float64
-			for trial := 0; trial < cfg.trials(); trial++ {
-				out := ru.run(root.Split())
-				kss = append(kss, out.TargetKS)
-			}
+			kss := make([]float64, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
+				kss[trial] = ru.run(r).TargetKS
+			})
 			sum := stats.Summarize(kss)
 			t.AddRow(ru.name, k, n, sum.Mean, sum.Max, predicted)
 		}
@@ -339,9 +341,8 @@ func ExpE13(cfg Config) *Table {
 	const blobs = 4
 	for _, order := range []string{"random", "sorted-by-cluster"} {
 		for _, k := range []int{50, 200, 800} {
-			var ratios []float64
-			for trial := 0; trial < cfg.trials(); trial++ {
-				r := root.Split()
+			ratios := make([]float64, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 				stream := cluster.GaussianMixture(n, blobs, 40, r.Split())
 				if order == "sorted-by-cluster" {
 					// Adversarial presentation order: all of blob 0,
@@ -353,8 +354,8 @@ func ExpE13(cfg Config) *Table {
 				for _, p := range stream {
 					res.Offer(p, sr)
 				}
-				ratios = append(ratios, cluster.CostRatio(stream, res.View(), blobs, 50, r.Split()))
-			}
+				ratios[trial] = cluster.CostRatio(stream, res.View(), blobs, 50, r.Split())
+			})
 			sum := stats.Summarize(ratios)
 			t.AddRow(order, k, sum.Mean, sum.Max)
 		}
@@ -385,35 +386,33 @@ func ExpE14(cfg Config) *Table {
 	sys := setsystem.NewPrefixes(expUniverse)
 	for _, eps := range []float64{0.05, 0.02} {
 		// Deterministic summary.
-		var detErrs []float64
-		detSpace := 0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		detErrs := make([]float64, cfg.trials())
+		detSpaces := make([]int, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			m := detsamp.NewForEps(eps, n)
 			stream := make([]int64, n)
 			for i := range stream {
 				stream[i] = 1 + r.Int63n(expUniverse)
 				m.Insert(stream[i])
 			}
-			detErrs = append(detErrs, detsamp.PrefixDiscrepancy(stream, m.WeightedValues()))
-			detSpace = m.Size()
-		}
+			detErrs[trial] = detsamp.PrefixDiscrepancy(stream, m.WeightedValues())
+			detSpaces[trial] = m.Size()
+		})
 		detSum := stats.Summarize(detErrs)
-		t.AddRow(eps, "merge-reduce(det)", detSpace, detSum.Mean, detSum.Max, "always (deterministic)")
+		t.AddRow(eps, "merge-reduce(det)", detSpaces[cfg.trials()-1], detSum.Mean, detSum.Max, "always (deterministic)")
 
 		// Randomized robust reservoir.
 		k := core.ReservoirSize(core.Params{Eps: eps, Delta: 0.1, N: n}, sys.LogCardinality())
-		var rndErrs []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		rndErrs := make([]float64, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := sampler.NewReservoir[int64](k)
 			stream := make([]int64, n)
 			for i := range stream {
 				stream[i] = 1 + r.Int63n(expUniverse)
 				res.Offer(stream[i], r)
 			}
-			rndErrs = append(rndErrs, sys.MaxDiscrepancy(stream, res.View()).Err)
-		}
+			rndErrs[trial] = sys.MaxDiscrepancy(stream, res.View()).Err
+		})
 		rndSum := stats.Summarize(rndErrs)
 		t.AddRow(eps, "reservoir(thm1.2)", k, rndSum.Mean, rndSum.Max, "whp vs adaptive adversaries")
 	}
@@ -439,10 +438,9 @@ func ExpE16(cfg Config) *Table {
 	k := 20
 	for _, heavyW := range []float64{4, 16} {
 		for _, mode := range []string{"static", "adaptive"} {
-			heavyIn, lightIn := 0, 0
-			heavyTotal, lightTotal := 0, 0
-			for trial := 0; trial < cfg.trials(); trial++ {
-				r := root.Split()
+			type tally struct{ heavyIn, lightIn, heavyTotal, lightTotal int }
+			tallies := make([]tally, cfg.trials())
+			cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 				w := sampler.NewWeightedReservoir[int64](k)
 				// Element i has id i; every 50th element is "heavy".
 				for i := 0; i < n; i++ {
@@ -472,17 +470,25 @@ func ExpE16(cfg Config) *Table {
 				}
 				for i := 0; i < n; i++ {
 					if i%50 == 0 {
-						heavyTotal++
+						tallies[trial].heavyTotal++
 						if inSample[int64(i)] {
-							heavyIn++
+							tallies[trial].heavyIn++
 						}
 					} else {
-						lightTotal++
+						tallies[trial].lightTotal++
 						if inSample[int64(i)] {
-							lightIn++
+							tallies[trial].lightIn++
 						}
 					}
 				}
+			})
+			heavyIn, lightIn := 0, 0
+			heavyTotal, lightTotal := 0, 0
+			for _, tl := range tallies {
+				heavyIn += tl.heavyIn
+				lightIn += tl.lightIn
+				heavyTotal += tl.heavyTotal
+				lightTotal += tl.lightTotal
 			}
 			pHeavy := float64(heavyIn) / float64(heavyTotal)
 			pLight := float64(lightIn) / float64(lightTotal)

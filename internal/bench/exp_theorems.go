@@ -48,9 +48,9 @@ func ExpE1(cfg Config) *Table {
 		rate := core.BernoulliRate(p, sys.LogCardinality())
 		suite := adversarySuite(n)
 		for _, name := range adversaryOrder {
-			est := core.EstimateRobustness(
+			est := core.EstimateRobustnessWorkers(
 				func() game.Sampler { return sampler.NewBernoulli[int64](rate) },
-				suite[name], sys, p, cfg.trials(), root.Split(),
+				suite[name], sys, p, cfg.trials(), cfg.Workers, root.Split(),
 			)
 			t.AddRow(eps, name, rate, rate*float64(n), est.Failure.Rate(), est.Errors.Mean, est.Errors.Max, delta)
 		}
@@ -78,9 +78,9 @@ func ExpE2(cfg Config) *Table {
 		k := core.ReservoirSize(p, sys.LogCardinality())
 		suite := adversarySuite(n)
 		for _, name := range adversaryOrder {
-			est := core.EstimateRobustness(
+			est := core.EstimateRobustnessWorkers(
 				func() game.Sampler { return sampler.NewReservoir[int64](k) },
-				suite[name], sys, p, cfg.trials(), root.Split(),
+				suite[name], sys, p, cfg.trials(), cfg.Workers, root.Split(),
 			)
 			t.AddRow(eps, name, k, est.Failure.Rate(), est.Errors.Mean, est.Errors.Max, delta)
 		}
@@ -108,22 +108,23 @@ func ExpE3(cfg Config) *Table {
 	for _, nBase := range []int{2000, 5000, 10000, 20000} {
 		n := cfg.scaled(nBase, 200)
 		p := 2 * math.Log(float64(n)) / float64(n)
-		broke := 0
-		invariant := 0
-		var errs []float64
-		sizeSum := 0.0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		errs := make([]float64, cfg.trials())
+		overHalf := make([]bool, cfg.trials())
+		prefixOK := make([]bool, cfg.trials())
+		sizes := make([]float64, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := adversary.RunExactBisectionBernoulli(n, p, r)
 			d := setsystem.NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
-			errs = append(errs, d.Err)
-			if d.Err > 0.5 {
-				broke++
-			}
-			if res.SampleIsPrefixOfAdmitted {
-				invariant++
-			}
-			sizeSum += float64(len(res.Sample))
+			errs[trial] = d.Err
+			overHalf[trial] = d.Err > 0.5
+			prefixOK[trial] = res.SampleIsPrefixOfAdmitted
+			sizes[trial] = float64(len(res.Sample))
+		})
+		broke := countTrue(overHalf)
+		invariant := countTrue(prefixOK)
+		sizeSum := 0.0
+		for _, s := range sizes {
+			sizeSum += s
 		}
 		pp := math.Max(p, math.Log(float64(n))/float64(n))
 		t.AddRow(n, p, sizeSum/float64(cfg.trials()),
@@ -149,22 +150,23 @@ func ExpE4(cfg Config) *Table {
 	root := rng.New(cfg.Seed + 3)
 	n := cfg.scaled(10000, 500)
 	for _, k := range []int{5, 10, 20, 40} {
-		broke := 0
-		within := 0
-		var errs []float64
-		kPrimeSum := 0.0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		errs := make([]float64, cfg.trials())
+		overHalf := make([]bool, cfg.trials())
+		inBound := make([]bool, cfg.trials())
+		kPrimes := make([]float64, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := adversary.RunExactBisectionReservoir(n, k, r)
 			d := setsystem.NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
-			errs = append(errs, d.Err)
-			if d.Err > 0.5 {
-				broke++
-			}
-			kPrimeSum += float64(res.TotalAdmitted)
-			if float64(res.TotalAdmitted) <= 4*float64(k)*math.Log(float64(n)) {
-				within++
-			}
+			errs[trial] = d.Err
+			overHalf[trial] = d.Err > 0.5
+			kPrimes[trial] = float64(res.TotalAdmitted)
+			inBound[trial] = float64(res.TotalAdmitted) <= 4*float64(k)*math.Log(float64(n))
+		})
+		broke := countTrue(overHalf)
+		within := countTrue(inBound)
+		kPrimeSum := 0.0
+		for _, kp := range kPrimes {
+			kPrimeSum += kp
 		}
 		t.AddRow(n, k, kPrimeSum/float64(cfg.trials()), 4*float64(k)*math.Log(float64(n)),
 			float64(within)/float64(cfg.trials()),
@@ -198,10 +200,10 @@ func ExpE5(cfg Config) *Table {
 			{"continuous-thm1.4", core.ContinuousReservoirSize(p, sys.LogCardinality())},
 		}
 		for _, s := range sizes {
-			est := core.EstimateContinuousRobustness(
+			est := core.EstimateContinuousRobustnessWorkers(
 				func() game.Sampler { return sampler.NewReservoir[int64](s.k) },
 				func() game.Adversary { return adversary.NewStaticUniform(expUniverse) },
-				sys, p, s.k, cfg.trials(), root.Split(),
+				sys, p, s.k, cfg.trials(), cfg.Workers, root.Split(),
 			)
 			t.AddRow(eps, s.label, s.k, est.Failure.Rate(), est.Errors.Mean, est.Errors.Max, delta)
 		}
@@ -226,18 +228,27 @@ func ExpE10(cfg Config) *Table {
 	for _, nBase := range []int{5000, 20000} {
 		n := cfg.scaled(nBase, 500)
 		p := 4 * math.Log(float64(n)) / float64(n)
-		var ranks, sizes []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		trialRanks := make([]float64, cfg.trials())
+		trialSizes := make([]float64, cfg.trials())
+		nonEmpty := make([]bool, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := adversary.RunExactBisectionBernoulli(n, p, r)
 			if len(res.Sample) == 0 {
-				continue
+				return
 			}
 			med := sampler.SortedCopy(res.Sample)[len(res.Sample)/2]
 			// Stream values are ranks 1..n, so the median's rank is
 			// its value.
-			ranks = append(ranks, float64(med)/float64(n))
-			sizes = append(sizes, float64(len(res.Sample)))
+			trialRanks[trial] = float64(med) / float64(n)
+			trialSizes[trial] = float64(len(res.Sample))
+			nonEmpty[trial] = true
+		})
+		var ranks, sizes []float64
+		for trial, ok := range nonEmpty {
+			if ok {
+				ranks = append(ranks, trialRanks[trial])
+				sizes = append(sizes, trialSizes[trial])
+			}
 		}
 		meanRank := stats.Mean(ranks)
 		t.AddRow(n, p, stats.Mean(sizes), meanRank, 0.5, 0.5-meanRank)
@@ -273,26 +284,24 @@ func ExpE11(cfg Config) *Table {
 			k = n
 		}
 		// Adaptive row: exact unbounded-universe attack.
-		broke := 0
-		var errs []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		errs := make([]float64, cfg.trials())
+		overEps := make([]bool, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			res := adversary.RunExactBisectionReservoir(n, k, r)
 			d := setsystem.NewPrefixes(int64(n)).MaxDiscrepancy(res.Stream, res.Sample)
-			errs = append(errs, d.Err)
-			if d.Err > eps {
-				broke++
-			}
-		}
+			errs[trial] = d.Err
+			overEps[trial] = d.Err > eps
+		})
+		broke := countTrue(overEps)
 		t.AddRow(k, float64(k)/crossover, "adaptive-bisection",
 			float64(broke)/float64(cfg.trials()), stats.Mean(errs))
 
 		// Static row: same k against a static uniform stream.
-		est := core.EstimateRobustness(
+		est := core.EstimateRobustnessWorkers(
 			func() game.Sampler { return sampler.NewReservoir[int64](k) },
 			func() game.Adversary { return adversary.NewStaticUniform(expUniverse) },
 			setsystem.NewPrefixes(expUniverse),
-			core.Params{Eps: eps, Delta: 0.1, N: n}, cfg.trials(), root.Split(),
+			core.Params{Eps: eps, Delta: 0.1, N: n}, cfg.trials(), cfg.Workers, root.Split(),
 		)
 		t.AddRow(k, float64(k)/crossover, "static-uniform", est.Failure.Rate(), est.Errors.Mean)
 	}
@@ -352,11 +361,10 @@ func ExpE15(cfg Config) *Table {
 		if sc.adv == "median-pusher" {
 			inR = func(x int64) bool { return x > expUniverse/4*3 }
 		}
-		var finals []float64
-		violations := 0
-		var lambda float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			r := root.Split()
+		finals := make([]float64, cfg.trials())
+		violated := make([]bool, cfg.trials())
+		lambdas := make([]float64, cfg.trials())
+		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
 			var adv game.Adversary
 			if sc.adv == "static-uniform" {
 				adv = adversary.NewStaticUniform(expUniverse)
@@ -380,11 +388,9 @@ func ExpE15(cfg Config) *Table {
 					lastAdmitted = bs.Offer(x, sampRNG)
 					m.Observe(x, lastAdmitted)
 				}
-				finals = append(finals, m.Z())
-				if m.MaxStepViolation() > 1e-9 {
-					violations++
-				}
-				lambda = solveFreedman(m.VarianceBudget(), 1/(float64(n)*p), 0.1)
+				finals[trial] = m.Z()
+				violated[trial] = m.MaxStepViolation() > 1e-9
+				lambdas[trial] = solveFreedman(m.VarianceBudget(), 1/(float64(n)*p), 0.1)
 			case "reservoir":
 				k := 100
 				m := core.NewReservoirMartingale(k, inR)
@@ -396,13 +402,13 @@ func ExpE15(cfg Config) *Table {
 					lastAdmitted = rs.Offer(x, sampRNG)
 					m.Observe(x, lastAdmitted, rs.View())
 				}
-				finals = append(finals, m.Z())
-				if m.MaxStepViolation() > 1e-9 {
-					violations++
-				}
-				lambda = solveFreedman(m.VarianceBudget(), float64(n)/float64(k), 0.1)
+				finals[trial] = m.Z()
+				violated[trial] = m.MaxStepViolation() > 1e-9
+				lambdas[trial] = solveFreedman(m.VarianceBudget(), float64(n)/float64(k), 0.1)
 			}
-		}
+		})
+		violations := countTrue(violated)
+		lambda := lambdas[cfg.trials()-1]
 		s := stats.Summarize(finals)
 		within := 0
 		for _, z := range finals {

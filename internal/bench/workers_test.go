@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTablesByteIdenticalAcrossWorkerCounts renders a representative subset
+// of experiments (covering EstimateRobustness fan-out, continuous games,
+// bespoke attack loops, and the martingale harness) serially and on an
+// oversubscribed pool, and requires byte-identical tables.
+func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, id := range []string{"E1", "E3", "E5", "E15"} {
+		exp, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		render := func(workers int) []byte {
+			var buf bytes.Buffer
+			cfg := Config{Seed: 77, Trials: 6, Scale: 0.02, Workers: workers}
+			exp.Run(cfg).Render(&buf)
+			return buf.Bytes()
+		}
+		serial := render(1)
+		for _, workers := range []int{0, 7} {
+			if par := render(workers); !bytes.Equal(serial, par) {
+				t.Fatalf("%s: workers=%d table differs from serial:\n%s\nvs\n%s",
+					id, workers, par, serial)
+			}
+		}
+	}
+}

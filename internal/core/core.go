@@ -212,30 +212,53 @@ func (e RobustnessEstimate) String() string {
 }
 
 // SamplerFactory builds a fresh sampler per game; Monte-Carlo estimation
-// runs many games and samplers are stateful.
+// runs many games and samplers are stateful. Estimation fans trials out
+// across a worker pool, so factories may be invoked concurrently and must
+// be safe for that (stateless constructor closures are).
 type SamplerFactory func() game.Sampler
 
-// AdversaryFactory builds a fresh adversary per game.
+// AdversaryFactory builds a fresh adversary per game. Like SamplerFactory,
+// it may be invoked concurrently.
 type AdversaryFactory func() game.Adversary
 
 // EstimateRobustness plays `trials` independent adaptive games and measures
 // the empirical failure rate of the eps-approximation verdict, alongside the
 // distribution of exact discrepancies. The root RNG is split per trial, so
-// results are deterministic given the root.
+// results are deterministic given the root. Trials are fanned out across
+// runtime.GOMAXPROCS workers; use EstimateRobustnessWorkers to control the
+// pool size.
 func EstimateRobustness(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, trials int, root *rng.RNG) RobustnessEstimate {
+	return EstimateRobustnessWorkers(mkSampler, mkAdv, sys, p, trials, 0, root)
+}
+
+// EstimateRobustnessWorkers is EstimateRobustness over an explicit worker
+// pool: workers <= 0 selects runtime.GOMAXPROCS(0), workers == 1 forces a
+// serial loop. The per-trial RNGs are split sequentially from root before
+// the fan-out, so the estimate is byte-identical for every worker count.
+// The factories are invoked from worker goroutines (at most `workers`
+// samplers are live at once) and must be safe for concurrent calls; plain
+// constructor closures, like every factory in this repository, are.
+func EstimateRobustnessWorkers(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, trials, workers int, root *rng.RNG) RobustnessEstimate {
 	p.validate()
 	if trials < 1 {
 		panic("core: trials must be >= 1")
 	}
+	rngs := make([]*rng.RNG, trials)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	errs := make([]float64, trials)
+	failed := make([]bool, trials)
+	ForEachTrial(trials, workers, func(trial int) {
+		res := game.Run(mkSampler(), mkAdv(), sys, p.N, p.Eps, rngs[trial])
+		failed[trial] = !res.OK
+		errs[trial] = res.Discrepancy.Err
+	})
 	failures := 0
-	errs := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
-		r := root.Split()
-		res := game.Run(mkSampler(), mkAdv(), sys, p.N, p.Eps, r)
-		if !res.OK {
+	for _, f := range failed {
+		if f {
 			failures++
 		}
-		errs = append(errs, res.Discrepancy.Err)
 	}
 	return RobustnessEstimate{
 		Failure:     stats.FailureRate{Failures: failures, Trials: trials},
@@ -247,22 +270,39 @@ func EstimateRobustness(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys se
 // EstimateContinuousRobustness is the continuous-game analogue of
 // EstimateRobustness: a trial fails if any checkpoint prefix violates the
 // eps-approximation. The checkpoint schedule is the Theorem 1.4 geometric
-// grid starting at the sampler's first full round.
+// grid starting at the sampler's first full round. Trials run on a
+// runtime.GOMAXPROCS worker pool; use EstimateContinuousRobustnessWorkers
+// to control the pool size.
 func EstimateContinuousRobustness(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, start, trials int, root *rng.RNG) RobustnessEstimate {
+	return EstimateContinuousRobustnessWorkers(mkSampler, mkAdv, sys, p, start, trials, 0, root)
+}
+
+// EstimateContinuousRobustnessWorkers is EstimateContinuousRobustness over
+// an explicit worker pool, with the same determinism guarantee as
+// EstimateRobustnessWorkers: output is byte-identical for every worker
+// count.
+func EstimateContinuousRobustnessWorkers(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, start, trials, workers int, root *rng.RNG) RobustnessEstimate {
 	p.validate()
 	if trials < 1 {
 		panic("core: trials must be >= 1")
 	}
 	checkpoints := game.Checkpoints(start, p.N, p.Eps/4)
+	rngs := make([]*rng.RNG, trials)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	errs := make([]float64, trials)
+	failed := make([]bool, trials)
+	ForEachTrial(trials, workers, func(trial int) {
+		res := game.RunContinuous(mkSampler(), mkAdv(), sys, p.N, p.Eps, checkpoints, rngs[trial])
+		failed[trial] = !res.OK
+		errs[trial] = res.MaxPrefixErr
+	})
 	failures := 0
-	errs := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
-		r := root.Split()
-		res := game.RunContinuous(mkSampler(), mkAdv(), sys, p.N, p.Eps, checkpoints, r)
-		if !res.OK {
+	for _, f := range failed {
+		if f {
 			failures++
 		}
-		errs = append(errs, res.MaxPrefixErr)
 	}
 	return RobustnessEstimate{
 		Failure:     stats.FailureRate{Failures: failures, Trials: trials},

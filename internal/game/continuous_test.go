@@ -1,0 +1,161 @@
+package game
+
+import (
+	"reflect"
+	"testing"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+// recordingSampler wraps a reservoir and snapshots the sample after every
+// Offer, so tests can recompute checkpoint verdicts independently. It
+// optionally forwards LastDelta (the incremental path); hiding it forces
+// RunContinuous onto the rebuild-from-View fallback.
+type recordingSampler struct {
+	inner     *sampler.Reservoir[int64]
+	snapshots [][]int64 // snapshots[i] = sample after round i+1
+}
+
+func (rs *recordingSampler) Offer(x int64, r *rng.RNG) bool {
+	admitted := rs.inner.Offer(x, r)
+	rs.snapshots = append(rs.snapshots, append([]int64(nil), rs.inner.View()...))
+	return admitted
+}
+
+func (rs *recordingSampler) View() []int64 { return rs.inner.View() }
+func (rs *recordingSampler) Len() int      { return rs.inner.Len() }
+func (rs *recordingSampler) Reset() {
+	rs.inner.Reset()
+	rs.snapshots = nil
+}
+
+// deltaRecordingSampler additionally exposes the wrapped reservoir's deltas.
+type deltaRecordingSampler struct{ recordingSampler }
+
+func (rs *deltaRecordingSampler) LastDelta() (added, removed []int64) {
+	return rs.recordingSampler.inner.LastDelta()
+}
+
+func continuousSystems() []setsystem.SetSystem {
+	const u = 1 << 10
+	return []setsystem.SetSystem{
+		setsystem.NewPrefixes(u),
+		setsystem.NewIntervals(u),
+		setsystem.NewSingletons(u),
+		setsystem.NewSuffixes(u),
+	}
+}
+
+// TestRunContinuousMatchesOneShotVerdicts replays the recorded per-round
+// samples through the one-shot MaxDiscrepancy and demands bit-exact
+// agreement with every checkpoint the incremental engine produced — for all
+// four set systems, via both the delta path and the View-rebuild fallback.
+func TestRunContinuousMatchesOneShotVerdicts(t *testing.T) {
+	const n = 200
+	for _, sys := range continuousSystems() {
+		for _, mode := range []string{"delta", "fallback"} {
+			var s Sampler
+			var rec *recordingSampler
+			if mode == "delta" {
+				ds := &deltaRecordingSampler{recordingSampler{inner: sampler.NewReservoir[int64](12)}}
+				rec = &ds.recordingSampler
+				s = ds
+			} else {
+				rec = &recordingSampler{inner: sampler.NewReservoir[int64](12)}
+				s = rec
+			}
+			adv := &zigzag{universe: 1 << 10}
+			res := RunContinuous(s, adv, sys, n, 0.3, Checkpoints(1, n, 0.25), rng.New(99))
+
+			if len(res.PrefixErrors) == 0 {
+				t.Fatalf("%s/%s: no checkpoints evaluated", sys.Name(), mode)
+			}
+			for _, pe := range res.PrefixErrors {
+				want := sys.MaxDiscrepancy(res.Stream[:pe.Round], rec.snapshots[pe.Round-1])
+				if pe.Err != want.Err {
+					t.Fatalf("%s/%s: round %d incremental err %v != one-shot %v",
+						sys.Name(), mode, pe.Round, pe.Err, want.Err)
+				}
+			}
+			last := res.PrefixErrors[len(res.PrefixErrors)-1]
+			if last.Round != n {
+				t.Fatalf("%s/%s: final round not evaluated", sys.Name(), mode)
+			}
+			if res.Discrepancy != sys.MaxDiscrepancy(res.Stream, res.Sample) {
+				t.Fatalf("%s/%s: final discrepancy mismatch", sys.Name(), mode)
+			}
+		}
+	}
+}
+
+// TestRunContinuousDeltaMatchesFallback runs the same seeded game through
+// the delta path and the fallback path; every recorded value must agree.
+func TestRunContinuousDeltaMatchesFallback(t *testing.T) {
+	const n = 150
+	sys := setsystem.NewIntervals(1 << 10)
+	cps := Checkpoints(1, n, 0.1)
+
+	run := func(s Sampler) ContinuousResult {
+		return RunContinuous(s, &zigzag{universe: 1 << 10}, sys, n, 0.25, cps, rng.New(7))
+	}
+	withDeltas := run(&deltaRecordingSampler{recordingSampler{inner: sampler.NewReservoir[int64](9)}})
+	fallback := run(&recordingSampler{inner: sampler.NewReservoir[int64](9)})
+
+	if !reflect.DeepEqual(withDeltas, fallback) {
+		t.Fatalf("delta path and fallback disagree:\n%+v\nvs\n%+v", withDeltas, fallback)
+	}
+}
+
+// TestNormalizeCheckpoints covers the sorted-cursor schedule: unsorted
+// input, duplicates, and out-of-range rounds.
+func TestNormalizeCheckpoints(t *testing.T) {
+	got := normalizeCheckpoints([]int{14, 3, 3, -2, 0, 99, 7, 10}, 10)
+	want := []int{3, 7, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("normalizeCheckpoints = %v, want %v", got, want)
+	}
+	if got := normalizeCheckpoints(nil, 5); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("empty checkpoints = %v, want [5]", got)
+	}
+}
+
+// TestRunContinuousUnsortedCheckpoints verifies that an unsorted checkpoint
+// slice produces the same trajectory as its sorted equivalent.
+func TestRunContinuousUnsortedCheckpoints(t *testing.T) {
+	sys := setsystem.NewPrefixes(1 << 10)
+	run := func(cps []int) ContinuousResult {
+		return RunContinuous(sampler.NewReservoir[int64](5), &zigzag{universe: 1 << 10},
+			sys, 40, 0.5, cps, rng.New(3))
+	}
+	sorted := run([]int{5, 10, 20, 40})
+	shuffled := run([]int{40, 20, 5, 10, 10, 20})
+	if !reflect.DeepEqual(sorted, shuffled) {
+		t.Fatal("checkpoint order affected the game outcome")
+	}
+}
+
+// zigzag is a deterministic adaptive adversary for tests: it alternates
+// between low and high values, biased by what it sees in the sample, and
+// repeats values often enough to exercise duplicate handling.
+type zigzag struct {
+	universe int64
+	i        int
+}
+
+func (z *zigzag) Name() string { return "zigzag" }
+func (z *zigzag) Reset()       { z.i = 0 }
+
+func (z *zigzag) Next(obs Observation, r *rng.RNG) int64 {
+	z.i++
+	if len(obs.Sample) > 0 && z.i%3 == 0 {
+		// Echo a sampled element to force duplicates across stream and
+		// sample.
+		return obs.Sample[z.i%len(obs.Sample)]
+	}
+	if z.i%2 == 0 {
+		return 1 + r.Int63n(z.universe/4)
+	}
+	return z.universe - r.Int63n(z.universe/4)
+}

@@ -18,6 +18,7 @@ package game
 
 import (
 	"fmt"
+	"slices"
 
 	"robustsample/internal/rng"
 	"robustsample/internal/setsystem"
@@ -37,6 +38,18 @@ type Sampler interface {
 	Len() int
 	// Reset clears the sampler for a fresh game.
 	Reset()
+}
+
+// SampleDeltaReporter is an optional Sampler extension reporting how the
+// sample multiset changed in the most recent Offer: the elements added and
+// the elements displaced (the reservoir eviction path). RunContinuous uses
+// it to keep its incremental discrepancy accumulator in sync with the sample
+// in O(1) per round; samplers that do not implement it fall back to an
+// O(|sample|) rebuild per checkpoint. All samplers in this repository
+// implement it. The returned slices are valid until the next Offer and must
+// not be mutated.
+type SampleDeltaReporter interface {
+	LastDelta() (added, removed []int64)
 }
 
 // Observation is what the adversary sees at the start of a round: precisely
@@ -189,11 +202,34 @@ func AllRounds(n int) []int {
 	return out
 }
 
+// normalizeCheckpoints returns the in-range checkpoints sorted ascending
+// with duplicates removed, always including the final round n.
+func normalizeCheckpoints(checkpoints []int, n int) []int {
+	cps := make([]int, 0, len(checkpoints)+1)
+	for _, c := range checkpoints {
+		if c >= 1 && c <= n {
+			cps = append(cps, c)
+		}
+	}
+	cps = append(cps, n)
+	slices.Sort(cps)
+	return slices.Compact(cps)
+}
+
 // RunContinuous plays one ContinuousAdaptiveGame, evaluating the exact
-// epsilon-approximation error at each round in checkpoints (which must be
-// sorted ascending; the final round n is evaluated even if absent). Unlike
+// epsilon-approximation error at each round in checkpoints (out-of-range
+// rounds are ignored; the final round n is evaluated even if absent). Unlike
 // Figure 2 the game does not halt at the first violation — it records it and
 // plays on, so experiments can report the full error trajectory.
+//
+// Verdicts are computed by the set system's incremental Accumulator rather
+// than a full re-sort of the stream prefix at every checkpoint: stream
+// elements are folded in as they are played, and the sample side is kept in
+// sync through the sampler's SampleDeltaReporter (covering reservoir
+// evictions via RemoveSample). Samplers that do not report deltas are still
+// exact — the sample histogram is rebuilt from View at each checkpoint. The
+// per-checkpoint Discrepancy is bit-identical to
+// sys.MaxDiscrepancy(stream[:i], sample_i).
 func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, checkpoints []int, r *rng.RNG) ContinuousResult {
 	if n < 1 {
 		panic("game: stream length must be >= 1")
@@ -203,20 +239,30 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 	samplerRNG := r.Split()
 	advRNG := r.Split()
 
-	checkSet := make(map[int]bool, len(checkpoints)+1)
-	for _, c := range checkpoints {
-		if c >= 1 && c <= n {
-			checkSet[c] = true
-		}
+	cps := normalizeCheckpoints(checkpoints, n)
+
+	acc := sys.NewAccumulator()
+	// Distinct values are bounded by both the universe and (for in-repo
+	// samplers, whose samples are stream subsets) the stream length; cap
+	// the pre-sizing so giant games don't over-allocate.
+	hint := n
+	if u := sys.UniverseSize(); u < int64(hint) {
+		hint = int(u)
 	}
-	checkSet[n] = true
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	acc.Reserve(hint)
+	deltas, trackDeltas := s.(SampleDeltaReporter)
 
 	stream := make([]int64, 0, n)
 	lastAdmitted := false
 	var prefixErrs []PrefixError
 	maxErr := 0.0
 	firstViolation := 0
+	var final setsystem.Discrepancy
 
+	next := 0 // cursor into cps; cps is sorted so one comparison per round
 	for i := 1; i <= n; i++ {
 		obs := Observation{
 			Round:        i,
@@ -229,8 +275,32 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 		stream = append(stream, x)
 		lastAdmitted = s.Offer(x, samplerRNG)
 
-		if checkSet[i] {
-			d := sys.MaxDiscrepancy(stream, s.View())
+		acc.AddStream(x)
+		if trackDeltas {
+			added, removed := deltas.LastDelta()
+			for _, a := range added {
+				acc.AddSample(a)
+			}
+			for _, e := range removed {
+				acc.RemoveSample(e)
+			}
+		}
+
+		if next < len(cps) && cps[next] == i {
+			next++
+			var d setsystem.Discrepancy
+			if trackDeltas {
+				d = acc.Max()
+			} else {
+				view := s.View()
+				for _, v := range view {
+					acc.AddSample(v)
+				}
+				d = acc.Max()
+				for _, v := range view {
+					acc.RemoveSample(v)
+				}
+			}
 			prefixErrs = append(prefixErrs, PrefixError{Round: i, Err: d.Err})
 			if d.Err > maxErr {
 				maxErr = d.Err
@@ -238,11 +308,11 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 			if d.Err > eps && firstViolation == 0 {
 				firstViolation = i
 			}
+			final = d // round n is always the last checkpoint
 		}
 	}
 
 	sample := append([]int64(nil), s.View()...)
-	final := sys.MaxDiscrepancy(stream, sample)
 	return ContinuousResult{
 		Result: Result{
 			Stream:      stream,

@@ -4,9 +4,11 @@
 // The adversarial games in the paper are probabilistic processes: both the
 // sampler and the adversary flip coins every round, and every experiment
 // repeats the game across many independent trials. To make every table in
-// EXPERIMENTS.md reproducible bit-for-bit, all randomness flows through this
-// package: an experiment owns a root RNG seeded from the command line, and
-// each trial receives an independent stream via Split. The generator is
+// DESIGN.md's experiment index reproducible bit-for-bit, all randomness
+// flows through this package: an experiment owns a root RNG seeded from the
+// command line, and each trial receives an independent stream via Split
+// (trial RNGs are pre-split sequentially even when trials run on a worker
+// pool, so parallel output matches serial output exactly). The generator is
 // PCG-XSL-RR 128/64 (the same family as math/rand/v2's PCG), implemented
 // here so that stream splitting is explicit and stable across Go releases.
 package rng

@@ -28,6 +28,7 @@ type ReservoirL[T any] struct {
 	items    []T
 	rounds   int
 	admitted int
+	delta    sampleDelta[T]
 
 	// w is the Algorithm L auxiliary variable: the running product of
 	// u^(1/k) draws; skip counts are derived from it.
@@ -50,9 +51,11 @@ func NewReservoirL[T any](k int) *ReservoirL[T] {
 // reservoir.
 func (v *ReservoirL[T]) Offer(x T, r *rng.RNG) bool {
 	v.rounds++
+	v.delta.clear()
 	if len(v.items) < v.K {
 		v.items = append(v.items, x)
 		v.admitted++
+		v.delta.add(x)
 		if len(v.items) == v.K {
 			v.advance(r)
 		}
@@ -64,11 +67,18 @@ func (v *ReservoirL[T]) Offer(x T, r *rng.RNG) bool {
 	}
 	// skip == 0: admit this element into a uniform slot, then draw the
 	// next skip.
-	v.items[r.Intn(v.K)] = x
+	j := r.Intn(v.K)
+	v.delta.remove(v.items[j])
+	v.items[j] = x
 	v.admitted++
+	v.delta.add(x)
 	v.advance(r)
 	return true
 }
+
+// LastDelta reports the element admitted by the most recent Offer and the
+// element it evicted, if any.
+func (v *ReservoirL[T]) LastDelta() (added, removed []T) { return v.delta.view() }
 
 // advance updates w and draws the next skip count per Algorithm L:
 //
@@ -117,6 +127,7 @@ func (v *ReservoirL[T]) Reset() {
 	v.items = v.items[:0]
 	v.rounds = 0
 	v.admitted = 0
+	v.delta.clear()
 	v.w = 1
 	v.skip = -1
 }

@@ -1,0 +1,75 @@
+package sampler
+
+import (
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+// deltaSampler is the per-Offer change-reporting surface shared by all
+// int64 samplers in this package.
+type deltaSampler interface {
+	Offer(x int64, r *rng.RNG) bool
+	View() []int64
+	Reset()
+	LastDelta() (added, removed []int64)
+}
+
+// TestLastDeltaTracksView replays every sampler's deltas into a shadow
+// multiset and checks it equals the actual sample view after every round —
+// the invariant the continuous game's incremental accumulator relies on.
+func TestLastDeltaTracksView(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() deltaSampler
+	}{
+		{"bernoulli", func() deltaSampler { return NewBernoulli[int64](0.3) }},
+		{"reservoir", func() deltaSampler { return NewReservoir[int64](8) }},
+		{"reservoirL", func() deltaSampler { return NewReservoirL[int64](8) }},
+		{"with-replacement", func() deltaSampler { return NewWithReplacement[int64](8) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(11)
+			s := tc.mk()
+			shadow := map[int64]int{}
+			for i := 0; i < 500; i++ {
+				x := 1 + r.Int63n(50)
+				admitted := s.Offer(x, r)
+				added, removed := s.LastDelta()
+				if !admitted && (len(added) != 0 || len(removed) != 0) {
+					t.Fatalf("round %d: rejected offer reported delta +%v -%v", i, added, removed)
+				}
+				for _, v := range removed {
+					shadow[v]--
+					if shadow[v] < 0 {
+						t.Fatalf("round %d: removed %d not in shadow sample", i, v)
+					}
+					if shadow[v] == 0 {
+						delete(shadow, v)
+					}
+				}
+				for _, v := range added {
+					shadow[v]++
+				}
+				view := map[int64]int{}
+				for _, v := range s.View() {
+					view[v]++
+				}
+				if len(view) != len(shadow) {
+					t.Fatalf("round %d: shadow %v != view %v", i, shadow, view)
+				}
+				for v, c := range view {
+					if shadow[v] != c {
+						t.Fatalf("round %d: shadow %v != view %v", i, shadow, view)
+					}
+				}
+			}
+			// Reset must clear the pending delta.
+			s.Reset()
+			if added, removed := s.LastDelta(); len(added) != 0 || len(removed) != 0 {
+				t.Fatalf("delta survives Reset: +%v -%v", added, removed)
+			}
+		})
+	}
+}

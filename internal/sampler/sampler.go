@@ -31,6 +31,7 @@ type Bernoulli[T any] struct {
 
 	items  []T
 	rounds int
+	delta  sampleDelta[T]
 }
 
 // NewBernoulli returns a Bernoulli sampler with rate p. It panics unless
@@ -45,12 +46,18 @@ func NewBernoulli[T any](p float64) *Bernoulli[T] {
 // Offer processes the next stream element, returning whether it was sampled.
 func (b *Bernoulli[T]) Offer(x T, r *rng.RNG) bool {
 	b.rounds++
+	b.delta.clear()
 	if r.Bernoulli(b.P) {
 		b.items = append(b.items, x)
+		b.delta.add(x)
 		return true
 	}
 	return false
 }
+
+// LastDelta reports how the sample multiset changed in the most recent
+// Offer; Bernoulli sampling never evicts, so removed is always empty.
+func (b *Bernoulli[T]) LastDelta() (added, removed []T) { return b.delta.view() }
 
 // View returns the current sample without copying. Callers must not mutate
 // the returned slice; it is the sampler's internal state σ_i.
@@ -69,7 +76,27 @@ func (b *Bernoulli[T]) Rounds() int { return b.rounds }
 func (b *Bernoulli[T]) Reset() {
 	b.items = b.items[:0]
 	b.rounds = 0
+	b.delta.clear()
 }
+
+// sampleDelta records the multiset change of one Offer without allocating:
+// the buffers are reused round to round. It backs the samplers' LastDelta
+// methods, which the continuous game consumes to keep its incremental
+// discrepancy accumulator in sync with the sample (including evictions).
+type sampleDelta[T any] struct {
+	added   []T
+	removed []T
+}
+
+func (d *sampleDelta[T]) clear() {
+	d.added = d.added[:0]
+	d.removed = d.removed[:0]
+}
+
+func (d *sampleDelta[T]) add(x T)    { d.added = append(d.added, x) }
+func (d *sampleDelta[T]) remove(x T) { d.removed = append(d.removed, x) }
+
+func (d *sampleDelta[T]) view() (added, removed []T) { return d.added, d.removed }
 
 // Reservoir maintains a uniform without-replacement sample of fixed size K
 // using Vitter's Algorithm R, exactly as the ReservoirSample pseudocode in
@@ -83,6 +110,7 @@ type Reservoir[T any] struct {
 	items    []T
 	rounds   int
 	admitted int // k' in Section 5: total elements ever admitted
+	delta    sampleDelta[T]
 }
 
 // NewReservoir returns a reservoir sampler of capacity k. It panics unless
@@ -98,9 +126,11 @@ func NewReservoir[T any](k int) *Reservoir[T] {
 // reservoir (possibly evicting an older element).
 func (v *Reservoir[T]) Offer(x T, r *rng.RNG) bool {
 	v.rounds++
+	v.delta.clear()
 	if len(v.items) < v.K {
 		v.items = append(v.items, x)
 		v.admitted++
+		v.delta.add(x)
 		return true
 	}
 	// Store with probability K/i by drawing j uniform in [0, i) and
@@ -108,12 +138,18 @@ func (v *Reservoir[T]) Offer(x T, r *rng.RNG) bool {
 	// is uniform in [0, K) conditioned on admission.
 	j := r.Intn(v.rounds)
 	if j < v.K {
+		v.delta.remove(v.items[j])
 		v.items[j] = x
 		v.admitted++
+		v.delta.add(x)
 		return true
 	}
 	return false
 }
+
+// LastDelta reports the element admitted by the most recent Offer and the
+// element it evicted, if any.
+func (v *Reservoir[T]) LastDelta() (added, removed []T) { return v.delta.view() }
 
 // View returns the current sample without copying; callers must not mutate.
 func (v *Reservoir[T]) View() []T { return v.items }
@@ -137,6 +173,7 @@ func (v *Reservoir[T]) Reset() {
 	v.items = v.items[:0]
 	v.rounds = 0
 	v.admitted = 0
+	v.delta.clear()
 }
 
 // WeightedItem pairs an element with a positive weight for weighted
@@ -266,6 +303,7 @@ type WithReplacement[T any] struct {
 	items  []T
 	filled bool
 	rounds int
+	delta  sampleDelta[T]
 }
 
 // NewWithReplacement returns a with-replacement sampler with k slots. It
@@ -280,10 +318,12 @@ func NewWithReplacement[T any](k int) *WithReplacement[T] {
 // Offer processes the next element; it returns true if any slot adopted it.
 func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
 	s.rounds++
+	s.delta.clear()
 	admitted := false
 	if s.rounds == 1 {
 		for i := range s.items {
 			s.items[i] = x
+			s.delta.add(x)
 		}
 		s.filled = true
 		return true
@@ -299,12 +339,18 @@ func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
 			break
 		}
 		i += int(skip)
+		s.delta.remove(s.items[i])
 		s.items[i] = x
+		s.delta.add(x)
 		admitted = true
 		i++
 	}
 	return admitted
 }
+
+// LastDelta reports the slot adoptions of the most recent Offer: one added
+// copy of the offered element per adopting slot, and the displaced values.
+func (s *WithReplacement[T]) LastDelta() (added, removed []T) { return s.delta.view() }
 
 // View returns the slots without copying; callers must not mutate. Before
 // the first element arrives the slots hold zero values.
@@ -335,6 +381,7 @@ func (s *WithReplacement[T]) Rounds() int { return s.rounds }
 func (s *WithReplacement[T]) Reset() {
 	s.filled = false
 	s.rounds = 0
+	s.delta.clear()
 	for i := range s.items {
 		var zero T
 		s.items[i] = zero

@@ -1,0 +1,195 @@
+package setsystem
+
+import (
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+func allSystems(n int64) []SetSystem {
+	return []SetSystem{NewPrefixes(n), NewIntervals(n), NewSingletons(n), NewSuffixes(n)}
+}
+
+// requireEqual asserts bit-exact parity between the incremental and one-shot
+// discrepancy results: error AND witness.
+func requireEqual(t *testing.T, sys SetSystem, got, want Discrepancy, stream, sample []int64) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("%s: accumulator %v != one-shot %v (stream=%v sample=%v)",
+			sys.Name(), got, want, stream, sample)
+	}
+}
+
+// TestAccumulatorMatchesOneShot is the differential test of the incremental
+// engine: randomized streams and samples, including sample removals driven
+// like reservoir evictions, must agree bit-for-bit with MaxDiscrepancy for
+// all four set systems at every step.
+func TestAccumulatorMatchesOneShot(t *testing.T) {
+	const universe = 64
+	r := rng.New(42)
+	for _, sys := range allSystems(universe) {
+		for trial := 0; trial < 30; trial++ {
+			acc := sys.NewAccumulator()
+			var stream, sample []int64
+			steps := 30 + r.Intn(60)
+			for step := 0; step < steps; step++ {
+				x := 1 + r.Int63n(universe)
+				stream = append(stream, x)
+				acc.AddStream(x)
+
+				// Mimic a reservoir: sometimes admit, sometimes admit
+				// with eviction of a random current sample element.
+				if r.Float64() < 0.5 {
+					if len(sample) > 4 && r.Float64() < 0.6 {
+						j := r.Intn(len(sample))
+						acc.RemoveSample(sample[j])
+						sample[j] = sample[len(sample)-1]
+						sample = sample[:len(sample)-1]
+					}
+					acc.AddSample(x)
+					sample = append(sample, x)
+				}
+
+				// Evaluate at random checkpoints and always at the end.
+				if r.Float64() < 0.3 || step == steps-1 {
+					requireEqual(t, sys, acc.Max(), sys.MaxDiscrepancy(stream, sample), stream, sample)
+				}
+			}
+			if acc.StreamLen() != len(stream) || acc.SampleLen() != len(sample) {
+				t.Fatalf("%s: lengths %d/%d, want %d/%d",
+					sys.Name(), acc.StreamLen(), acc.SampleLen(), len(stream), len(sample))
+			}
+		}
+	}
+}
+
+// TestAccumulatorEmptySample checks the empty-sample special cases (error 1
+// with the system-specific witness), including a sample that was drained
+// back to empty by removals.
+func TestAccumulatorEmptySample(t *testing.T) {
+	for _, sys := range allSystems(16) {
+		acc := sys.NewAccumulator()
+		stream := []int64{3, 9, 9, 14}
+		for _, x := range stream {
+			acc.AddStream(x)
+		}
+		requireEqual(t, sys, acc.Max(), sys.MaxDiscrepancy(stream, nil), stream, nil)
+
+		// Drain an added-then-removed sample: must match again.
+		acc.AddSample(9)
+		acc.AddSample(3)
+		acc.RemoveSample(9)
+		acc.RemoveSample(3)
+		requireEqual(t, sys, acc.Max(), sys.MaxDiscrepancy(stream, nil), stream, nil)
+	}
+}
+
+func TestAccumulatorEmptyStream(t *testing.T) {
+	for _, sys := range allSystems(16) {
+		acc := sys.NewAccumulator()
+		if d := acc.Max(); d != (Discrepancy{}) {
+			t.Fatalf("%s: empty accumulator discrepancy %v, want zero", sys.Name(), d)
+		}
+		acc.AddSample(5)
+		if d := acc.Max(); d != (Discrepancy{}) {
+			t.Fatalf("%s: empty stream discrepancy %v, want zero", sys.Name(), d)
+		}
+	}
+}
+
+func TestAccumulatorPerfectSampleZero(t *testing.T) {
+	for _, sys := range allSystems(16) {
+		acc := sys.NewAccumulator()
+		for _, x := range []int64{2, 5, 5, 11} {
+			acc.AddStream(x)
+			acc.AddSample(x)
+		}
+		if d := acc.Max(); d.Err != 0 {
+			t.Fatalf("%s: perfect sample error %v, want 0", sys.Name(), d.Err)
+		}
+	}
+}
+
+func TestAccumulatorRemoveAbsentPanics(t *testing.T) {
+	acc := NewPrefixes(8).NewAccumulator()
+	acc.AddStream(3)
+	acc.AddSample(3)
+	acc.RemoveSample(3)
+	for _, x := range []int64{3, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RemoveSample(%d) of absent element should panic", x)
+				}
+			}()
+			acc.RemoveSample(x)
+		}()
+	}
+}
+
+// TestAccumulatorReset checks that a reset accumulator behaves like a fresh
+// one, including its lazily merged sorted order.
+func TestAccumulatorReset(t *testing.T) {
+	sys := NewIntervals(32)
+	acc := sys.NewAccumulator()
+	for _, x := range []int64{7, 7, 20, 3} {
+		acc.AddStream(x)
+	}
+	acc.AddSample(20)
+	acc.Max()
+	acc.Reset()
+	if acc.StreamLen() != 0 || acc.SampleLen() != 0 {
+		t.Fatal("reset accumulator not empty")
+	}
+	stream := []int64{4, 8, 8}
+	sample := []int64{8}
+	for _, x := range stream {
+		acc.AddStream(x)
+	}
+	for _, x := range sample {
+		acc.AddSample(x)
+	}
+	requireEqual(t, sys, acc.Max(), sys.MaxDiscrepancy(stream, sample), stream, sample)
+}
+
+// TestAccumulatorInterleavedMax verifies that calling Max between every
+// update (forcing incremental pending merges of size one) agrees with a
+// single batch evaluation.
+func TestAccumulatorInterleavedMax(t *testing.T) {
+	r := rng.New(7)
+	for _, sys := range allSystems(20) {
+		acc := sys.NewAccumulator()
+		var stream, sample []int64
+		for i := 0; i < 50; i++ {
+			x := 1 + r.Int63n(20)
+			stream = append(stream, x)
+			acc.AddStream(x)
+			if i%3 == 0 {
+				sample = append(sample, x)
+				acc.AddSample(x)
+			}
+			requireEqual(t, sys, acc.Max(), sys.MaxDiscrepancy(stream, sample), stream, sample)
+		}
+	}
+}
+
+func BenchmarkAccumulatorCheckpoint(b *testing.B) {
+	// One checkpoint evaluation over a large accumulated stream: the cost
+	// the incremental engine pays where cdfScan would re-sort the prefix.
+	r := rng.New(1)
+	sys := NewPrefixes(1 << 20)
+	acc := sys.NewAccumulator()
+	for i := 0; i < 100000; i++ {
+		acc.AddStream(1 + r.Int63n(1<<20))
+	}
+	for i := 0; i < 1000; i++ {
+		acc.AddSample(1 + r.Int63n(1<<20))
+	}
+	acc.Max()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AddStream(1 + r.Int63n(1<<20))
+		acc.Max()
+	}
+}

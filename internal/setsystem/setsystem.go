@@ -23,7 +23,7 @@ package setsystem
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Discrepancy reports the maximal density deviation between a stream and a
@@ -56,6 +56,10 @@ type SetSystem interface {
 	// paper requires samples to be non-empty; the game treats this as a
 	// failure).
 	MaxDiscrepancy(stream, sample []int64) Discrepancy
+	// NewAccumulator returns an empty incremental discrepancy engine for
+	// this system, whose Max agrees bit-for-bit with MaxDiscrepancy on
+	// equal multisets.
+	NewAccumulator() *Accumulator
 }
 
 // Prefixes is the one-sided interval system {[1, b] : b in U} with
@@ -129,54 +133,61 @@ func (s Singletons) UniverseSize() int64     { return s.n }
 func (s Singletons) LogCardinality() float64 { return math.Log(float64(s.n)) }
 func (s Singletons) VCDim() int              { return 1 }
 
-// MaxDiscrepancy computes max_v |freq_X(v)/|X| - freq_S(v)/|S||.
+// MaxDiscrepancy computes max_v |freq_X(v)/|X| - freq_S(v)/|S||. Deviations
+// are compared as exact integer numerators over the common denominator
+// |X||S|, sweeping values in ascending order, so the result (error and
+// witness, ties broken toward the smallest value) is deterministic and
+// agrees bit-for-bit with the Accumulator.
 func (s Singletons) MaxDiscrepancy(stream, sample []int64) Discrepancy {
 	if len(stream) == 0 {
 		return Discrepancy{}
 	}
-	if len(sample) == 0 {
-		// Every non-empty value witnesses its own stream density; the
-		// maximal one is the heaviest element.
-		counts := make(map[int64]int, len(stream))
-		for _, x := range stream {
-			counts[x]++
-		}
-		best := Discrepancy{}
-		for v, c := range counts {
-			d := float64(c) / float64(len(stream))
-			if d > best.Err {
-				best = Discrepancy{Err: d, Lo: v, Hi: v}
-			}
-		}
-		return best
-	}
-	nx := float64(len(stream))
-	ns := float64(len(sample))
-	cx := make(map[int64]int, len(stream))
+	nx := int64(len(stream))
+	cx := make(map[int64]int64, len(stream))
 	for _, x := range stream {
 		cx[x]++
 	}
-	cs := make(map[int64]int, len(sample))
+	if len(sample) == 0 {
+		// Every non-empty value witnesses its own stream density; the
+		// maximal one is the heaviest element (smallest such value).
+		values := make([]int64, 0, len(cx))
+		for v := range cx {
+			values = append(values, v)
+		}
+		slices.Sort(values)
+		var bestC, bestAt int64
+		for _, v := range values {
+			if cx[v] > bestC {
+				bestC, bestAt = cx[v], v
+			}
+		}
+		return Discrepancy{Err: float64(bestC) / float64(nx), Lo: bestAt, Hi: bestAt}
+	}
+	ns := int64(len(sample))
+	cs := make(map[int64]int64, len(sample))
 	for _, x := range sample {
 		cs[x]++
 	}
-	best := Discrepancy{}
-	for v, c := range cx {
-		d := math.Abs(float64(c)/nx - float64(cs[v])/ns)
-		if d > best.Err {
-			best = Discrepancy{Err: d, Lo: v, Hi: v}
+	values := make([]int64, 0, len(cx)+len(cs))
+	for v := range cx {
+		values = append(values, v)
+	}
+	for v := range cs {
+		if _, ok := cx[v]; !ok {
+			values = append(values, v)
 		}
 	}
-	for v, c := range cs {
-		if _, ok := cx[v]; ok {
-			continue
-		}
-		d := float64(c) / ns
-		if d > best.Err {
-			best = Discrepancy{Err: d, Lo: v, Hi: v}
+	slices.Sort(values)
+	var bestNum, bestAt int64
+	for _, v := range values {
+		if d := abs64(cx[v]*ns - cs[v]*nx); d > bestNum {
+			bestNum, bestAt = d, v
 		}
 	}
-	return best
+	if bestNum == 0 {
+		return Discrepancy{}
+	}
+	return Discrepancy{Err: float64(bestNum) / (float64(nx) * float64(ns)), Lo: bestAt, Hi: bestAt}
 }
 
 // Suffixes is the system {[b, N] : b in U}. Its discrepancy equals that of
@@ -217,6 +228,11 @@ func (s Suffixes) MaxDiscrepancy(stream, sample []int64) Discrepancy {
 // max_t |D(t)| (prefix discrepancy with witness [1, t]); with twoSided=true
 // it returns max_t D(t) - min_t D(t) (interval discrepancy with the interval
 // between the extremal points as witness).
+//
+// D(t) is tracked as the exact integer numerator Cx(t)*|S| - Cs(t)*|X| over
+// the common denominator |X||S|, so extrema and witnesses are found by exact
+// int64 comparison and the single float division at the end agrees
+// bit-for-bit with the incremental Accumulator.
 func cdfScan(stream, sample []int64, twoSided bool) Discrepancy {
 	if len(stream) == 0 {
 		return Discrepancy{}
@@ -241,23 +257,21 @@ func cdfScan(stream, sample []int64, twoSided bool) Discrepancy {
 
 	xs := append([]int64(nil), stream...)
 	ss := append([]int64(nil), sample...)
-	sortInt64(xs)
-	sortInt64(ss)
+	slices.Sort(xs)
+	slices.Sort(ss)
 
-	nx := float64(len(xs))
-	ns := float64(len(ss))
+	nx := int64(len(xs))
+	ns := int64(len(ss))
 
 	var i, j int
-	d := 0.0 // current D(t)
+	var num int64 // current numerator of D(t)
 
 	// One-sided tracking.
-	bestAbs := 0.0
-	var bestAbsAt int64
+	var bestAbs, bestAbsAt int64
 
 	// Two-sided tracking: extrema of D and their positions. D(0) = 0 is a
 	// valid baseline (the empty prefix), represented by position 0.
-	maxD, minD := 0.0, 0.0
-	var maxAt, minAt int64 = 0, 0
+	var maxD, minD, maxAt, minAt int64
 
 	for i < len(xs) || j < len(ss) {
 		var t int64
@@ -271,32 +285,35 @@ func cdfScan(stream, sample []int64, twoSided bool) Discrepancy {
 		default:
 			t = ss[j]
 		}
+		var cx, cs int64
 		for i < len(xs) && xs[i] == t {
-			d += 1 / nx
+			cx++
 			i++
 		}
 		for j < len(ss) && ss[j] == t {
-			d -= 1 / ns
+			cs++
 			j++
 		}
-		if a := math.Abs(d); a > bestAbs {
+		num += cx*ns - cs*nx
+		if a := abs64(num); a > bestAbs {
 			bestAbs = a
 			bestAbsAt = t
 		}
-		if d > maxD {
-			maxD = d
+		if num > maxD {
+			maxD = num
 			maxAt = t
 		}
-		if d < minD {
-			minD = d
+		if num < minD {
+			minD = num
 			minAt = t
 		}
 	}
 
+	denom := float64(nx) * float64(ns)
 	if !twoSided {
-		return Discrepancy{Err: bestAbs, Lo: 1, Hi: bestAbsAt}
+		return Discrepancy{Err: float64(bestAbs) / denom, Lo: 1, Hi: bestAbsAt}
 	}
-	err := maxD - minD
+	err := float64(maxD-minD) / denom
 	lo, hi := minAt+1, maxAt
 	if maxAt < minAt {
 		lo, hi = maxAt+1, minAt
@@ -306,10 +323,6 @@ func cdfScan(stream, sample []int64, twoSided bool) Discrepancy {
 		lo, hi = 1, 1
 	}
 	return Discrepancy{Err: err, Lo: lo, Hi: hi}
-}
-
-func sortInt64(a []int64) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
 
 // Density returns d_R(T) for the explicit range [lo, hi]: the fraction of
@@ -352,7 +365,7 @@ func BruteMaxDiscrepancy(universe int64, stream, sample []int64) Discrepancy {
 	for v := range valueSet {
 		values = append(values, v)
 	}
-	sortInt64(values)
+	slices.Sort(values)
 	best := Discrepancy{Lo: 1, Hi: 1}
 	for i, a := range values {
 		for _, b := range values[i:] {

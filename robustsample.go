@@ -32,6 +32,35 @@
 //	}
 //	// res.View() is an eps-approximation of the stream with probability
 //	// >= 1-delta, no matter how adaptively the stream was chosen.
+//
+// # Performance: incremental discrepancy and parallel trials
+//
+// Exact verdicts are served by two engines that agree bit-for-bit (error
+// and witness): the one-shot MaxDiscrepancy (sort + merge-scan, used for a
+// single verdict) and the incremental Accumulator obtained from
+// SetSystem.NewAccumulator. The Accumulator maintains coordinate-compressed
+// histograms of the stream and sample — AddStream, AddSample and
+// RemoveSample (the reservoir eviction path) are O(1) expected per update —
+// and Max() evaluates the exact discrepancy in one sweep over the distinct
+// values seen, so continuous games (RunContinuousGame) re-verdict each
+// checkpoint without re-sorting the whole prefix. Both engines compare
+// integer numerators of the CDF difference in exact int64 arithmetic;
+// floating point enters only in the final division.
+//
+//	acc := sys.NewAccumulator()
+//	acc.AddStream(x)            // per stream element
+//	acc.AddSample(x)            // element entered the sample
+//	acc.RemoveSample(y)         // element evicted from the sample
+//	d := acc.Max()              // exact Discrepancy, O(distinct values)
+//
+// Monte-Carlo estimation (EstimateRobustness and the experiment harness
+// under cmd/robustbench) fans independent trials out across a worker pool:
+// runtime.GOMAXPROCS workers by default, an explicit count via
+// EstimateRobustnessWorkers or robustbench's -workers flag. Per-trial RNG
+// streams are pre-split sequentially from the root before the fan-out and
+// results are reduced in trial order, so estimates and experiment tables
+// are byte-identical for every worker count (workers=1 reproduces the
+// historical serial loop exactly).
 package robustsample
 
 import (
@@ -60,6 +89,12 @@ type SetSystem = setsystem.SetSystem
 
 // Discrepancy reports a maximal density deviation and a witnessing range.
 type Discrepancy = setsystem.Discrepancy
+
+// Accumulator is the incremental discrepancy engine: O(1) expected updates
+// via AddStream/AddSample/RemoveSample and exact evaluation via Max,
+// bit-identical to the one-shot MaxDiscrepancy. Obtain one from a
+// SetSystem's NewAccumulator.
+type Accumulator = setsystem.Accumulator
 
 // NewPrefixes returns the one-sided interval system {[1,b]} over [1, n]
 // (VC-dimension 1, |R| = n) — the system of Theorem 1.3 and Corollary 1.5.
@@ -237,7 +272,17 @@ func RunBisectionAttackReservoir(n, k int, r *RNG) AttackResult {
 type RobustnessEstimate = core.RobustnessEstimate
 
 // EstimateRobustness plays repeated adaptive games and reports the
-// empirical failure rate of the eps-approximation verdict.
+// empirical failure rate of the eps-approximation verdict. Trials run in
+// parallel on runtime.GOMAXPROCS workers; the result is byte-identical to a
+// serial run (see EstimateRobustnessWorkers).
 func EstimateRobustness(mkSampler func() Sampler, mkAdv func() Adversary, sys SetSystem, p Params, trials int, root *RNG) RobustnessEstimate {
 	return core.EstimateRobustness(mkSampler, mkAdv, sys, p, trials, root)
+}
+
+// EstimateRobustnessWorkers is EstimateRobustness with an explicit worker
+// pool size (0 = runtime.GOMAXPROCS, 1 = serial). Per-trial RNGs are split
+// sequentially from root before the fan-out, so the estimate does not
+// depend on the worker count.
+func EstimateRobustnessWorkers(mkSampler func() Sampler, mkAdv func() Adversary, sys SetSystem, p Params, trials, workers int, root *RNG) RobustnessEstimate {
+	return core.EstimateRobustnessWorkers(mkSampler, mkAdv, sys, p, trials, workers, root)
 }
