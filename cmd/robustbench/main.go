@@ -5,7 +5,9 @@
 //
 // Monte-Carlo trials fan out across a worker pool (-workers, default all
 // CPUs); tables are byte-identical for every worker count, so -workers only
-// changes wall-clock time.
+// changes wall-clock time. Non-adaptive games ingest their streams in
+// batches (-chunk elements per batch); batch ingestion is chunking-
+// invariant, so -chunk also only changes wall-clock time.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"robustsample/internal/bench"
+	"robustsample/internal/game"
 )
 
 func main() {
@@ -34,9 +37,13 @@ func main() {
 		trials  = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
 		scale   = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
 		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
+		chunk   = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
 	)
 	flag.Parse()
 
+	if *chunk > 0 {
+		game.SpanChunkCap = *chunk
+	}
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
 
 	switch {

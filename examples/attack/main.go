@@ -17,9 +17,8 @@ package main
 import (
 	"fmt"
 	"math"
-	"sort"
-
 	"robustsample"
+	"slices"
 )
 
 func main() {
@@ -38,7 +37,7 @@ func main() {
 		res.SampleIsPrefixOfAdmitted)
 
 	sorted := append([]int64(nil), res.Sample...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	if len(sorted) > 0 {
 		med := sorted[len(sorted)/2]
 		fmt.Printf("sample median has stream rank %d of %d (unattacked: ~%d)\n",

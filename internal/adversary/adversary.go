@@ -155,6 +155,19 @@ func (s *Static) Next(obs game.Observation, r *rng.RNG) int64 {
 	return s.stream[obs.Round-1]
 }
 
+// GenerateStream implements game.StreamGenerator: the whole fixed stream is
+// produced in one call — drawing from r exactly as the lazy first Next does
+// — so games can batch-ingest it without per-round adversary calls.
+func (s *Static) GenerateStream(n int, r *rng.RNG) []int64 {
+	if s.stream == nil {
+		s.stream = s.Gen(n, r)
+	}
+	if len(s.stream) < n {
+		panic("adversary: static generator produced short stream")
+	}
+	return s.stream[:n]
+}
+
 // NewStaticUniform returns a static adversary whose stream is i.i.d. uniform
 // over [1, universe].
 func NewStaticUniform(universe int64) *Static {
@@ -243,6 +256,17 @@ func (a *RandomAdaptive) Reset() {}
 // Next implements game.Adversary.
 func (a *RandomAdaptive) Next(_ game.Observation, r *rng.RNG) int64 {
 	return 1 + r.Int63n(a.Universe)
+}
+
+// GenerateStream implements game.StreamGenerator: the null baseline ignores
+// the sampler's state, so its stream can be drawn up front — one Int63n per
+// round in the same order as Next, hence bit-identical games either way.
+func (a *RandomAdaptive) GenerateStream(n int, r *rng.RNG) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + r.Int63n(a.Universe)
+	}
+	return out
 }
 
 // HHInflation attacks the heavy-hitters application (Corollary 1.6): it

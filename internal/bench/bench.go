@@ -12,9 +12,10 @@
 package bench
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"robustsample/internal/core"
@@ -195,8 +196,8 @@ func All() []Experiment {
 		{"E16", "Section 1.3: weighted reservoir sampling extension", ExpE16},
 		{"E17", "Ablation: reservoir variants (Algorithm R / Algorithm L / with-replacement)", ExpE17},
 	}
-	sort.Slice(exps, func(i, j int) bool {
-		return expOrder(exps[i].ID) < expOrder(exps[j].ID)
+	slices.SortFunc(exps, func(a, b Experiment) int {
+		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))
 	})
 	return exps
 }

@@ -3,6 +3,8 @@ package bench
 import (
 	"bytes"
 	"testing"
+
+	"robustsample/internal/game"
 )
 
 // TestTablesByteIdenticalAcrossWorkerCounts renders a representative subset
@@ -26,6 +28,34 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			if par := render(workers); !bytes.Equal(serial, par) {
 				t.Fatalf("%s: workers=%d table differs from serial:\n%s\nvs\n%s",
 					id, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestTablesByteIdenticalAcrossChunkSizes renders experiments covering both
+// game entry points (E1: one-shot games incl. batched Bernoulli ingest, E5:
+// continuous games with the batched span loop) under different batch-ingest
+// chunk caps and requires byte-identical tables: batch ingestion must be
+// invariant to how streams are sliced.
+func TestTablesByteIdenticalAcrossChunkSizes(t *testing.T) {
+	defer func(old int) { game.SpanChunkCap = old }(game.SpanChunkCap)
+	for _, id := range []string{"E1", "E5"} {
+		exp, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		render := func(chunk int) []byte {
+			game.SpanChunkCap = chunk
+			var buf bytes.Buffer
+			cfg := Config{Seed: 41, Trials: 5, Scale: 0.02, Workers: 1}
+			exp.Run(cfg).Render(&buf)
+			return buf.Bytes()
+		}
+		base := render(8192)
+		for _, chunk := range []int{1, 13, 500, 1 << 20} {
+			if got := render(chunk); !bytes.Equal(base, got) {
+				t.Fatalf("%s: chunk=%d table differs:\n%s\nvs\n%s", id, chunk, got, base)
 			}
 		}
 	}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"robustsample/internal/game"
 	"robustsample/internal/rng"
@@ -21,6 +22,46 @@ import (
 	"robustsample/internal/setsystem"
 	"robustsample/internal/stats"
 )
+
+// pooledAcc pairs a reusable incremental engine with the set system it was
+// built for; engines are only valid for their own system.
+type pooledAcc struct {
+	sys setsystem.SetSystem
+	acc *setsystem.Accumulator
+}
+
+var accPool sync.Pool
+
+// acquireAccumulator returns an incremental engine for sys, reusing a
+// pooled one when its system matches (the usual case: one experiment
+// estimates many rows over the same system, and an engine's compression
+// tables are its dominant allocation). Pooling is restricted to the four
+// in-repo set-system types, which are comparable values; a pooled engine
+// for a different system is simply dropped.
+func acquireAccumulator(sys setsystem.SetSystem) *setsystem.Accumulator {
+	switch sys.(type) {
+	case setsystem.Prefixes, setsystem.Intervals, setsystem.Singletons, setsystem.Suffixes:
+	default:
+		return sys.NewAccumulator()
+	}
+	if v := accPool.Get(); v != nil {
+		if p := v.(*pooledAcc); p.sys == sys {
+			return p.acc
+		}
+	}
+	return sys.NewAccumulator()
+}
+
+// releaseAccumulator returns an engine to the pool for the next estimate.
+func releaseAccumulator(sys setsystem.SetSystem, acc *setsystem.Accumulator) {
+	if acc == nil {
+		return
+	}
+	switch sys.(type) {
+	case setsystem.Prefixes, setsystem.Intervals, setsystem.Singletons, setsystem.Suffixes:
+		accPool.Put(&pooledAcc{sys: sys, acc: acc})
+	}
+}
 
 // Params bundles an approximation target for a stream of known length.
 type Params struct {
@@ -235,9 +276,10 @@ func EstimateRobustness(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys se
 // pool: workers <= 0 selects runtime.GOMAXPROCS(0), workers == 1 forces a
 // serial loop. The per-trial RNGs are split sequentially from root before
 // the fan-out, so the estimate is byte-identical for every worker count.
-// The factories are invoked from worker goroutines (at most `workers`
-// samplers are live at once) and must be safe for concurrent calls; plain
-// constructor closures, like every factory in this repository, are.
+// The factories are invoked once per worker (each game fully Resets the
+// players, so reuse across a worker's trials changes nothing) from worker
+// goroutines, and must be safe for concurrent calls; plain constructor
+// closures, like every factory in this repository, are.
 func EstimateRobustnessWorkers(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, trials, workers int, root *rng.RNG) RobustnessEstimate {
 	p.validate()
 	if trials < 1 {
@@ -249,8 +291,14 @@ func EstimateRobustnessWorkers(mkSampler SamplerFactory, mkAdv AdversaryFactory,
 	}
 	errs := make([]float64, trials)
 	failed := make([]bool, trials)
-	ForEachTrial(trials, workers, func(trial int) {
-		res := game.Run(mkSampler(), mkAdv(), sys, p.N, p.Eps, rngs[trial])
+	samplers := make([]game.Sampler, WorkerCount(trials, workers))
+	advs := make([]game.Adversary, len(samplers))
+	ForEachTrialOnWorker(trials, workers, func(worker, trial int) {
+		if samplers[worker] == nil {
+			samplers[worker] = mkSampler()
+			advs[worker] = mkAdv()
+		}
+		res := game.Run(samplers[worker], advs[worker], sys, p.N, p.Eps, rngs[trial])
 		failed[trial] = !res.OK
 		errs[trial] = res.Discrepancy.Err
 	})
@@ -280,7 +328,9 @@ func EstimateContinuousRobustness(mkSampler SamplerFactory, mkAdv AdversaryFacto
 // EstimateContinuousRobustnessWorkers is EstimateContinuousRobustness over
 // an explicit worker pool, with the same determinism guarantee as
 // EstimateRobustnessWorkers: output is byte-identical for every worker
-// count.
+// count. Each worker reuses one sampler, one adversary and one incremental
+// discrepancy engine across its trials (every game fully Resets them), so
+// the table-driving hot loop allocates per worker, not per game.
 func EstimateContinuousRobustnessWorkers(mkSampler SamplerFactory, mkAdv AdversaryFactory, sys setsystem.SetSystem, p Params, start, trials, workers int, root *rng.RNG) RobustnessEstimate {
 	p.validate()
 	if trials < 1 {
@@ -293,11 +343,22 @@ func EstimateContinuousRobustnessWorkers(mkSampler SamplerFactory, mkAdv Adversa
 	}
 	errs := make([]float64, trials)
 	failed := make([]bool, trials)
-	ForEachTrial(trials, workers, func(trial int) {
-		res := game.RunContinuous(mkSampler(), mkAdv(), sys, p.N, p.Eps, checkpoints, rngs[trial])
+	samplers := make([]game.Sampler, WorkerCount(trials, workers))
+	advs := make([]game.Adversary, len(samplers))
+	accs := make([]*setsystem.Accumulator, len(samplers))
+	ForEachTrialOnWorker(trials, workers, func(worker, trial int) {
+		if samplers[worker] == nil {
+			samplers[worker] = mkSampler()
+			advs[worker] = mkAdv()
+			accs[worker] = acquireAccumulator(sys)
+		}
+		res := game.RunContinuousWith(samplers[worker], advs[worker], sys, p.N, p.Eps, checkpoints, rngs[trial], accs[worker])
 		failed[trial] = !res.OK
 		errs[trial] = res.MaxPrefixErr
 	})
+	for _, acc := range accs {
+		releaseAccumulator(sys, acc)
+	}
 	failures := 0
 	for _, f := range failed {
 		if f {

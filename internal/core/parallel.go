@@ -30,15 +30,21 @@ import (
 // results to per-trial storage; ForEachTrial returns once every trial has
 // completed.
 func ForEachTrial(trials, workers int, fn func(trial int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
+	ForEachTrialOnWorker(trials, workers, func(_, trial int) { fn(trial) })
+}
+
+// ForEachTrialOnWorker is ForEachTrial with the worker's identity (0 <=
+// worker < effective pool size) passed alongside the trial index. Trial
+// loops use it to reuse per-worker scratch state — samplers, adversaries,
+// incremental accumulators — across the games a worker plays: each game
+// fully Resets the state, so results stay byte-identical to fresh
+// construction while the allocation cost is paid once per worker instead of
+// once per trial.
+func ForEachTrialOnWorker(trials, workers int, fn func(worker, trial int)) {
+	workers = WorkerCount(trials, workers)
 	if workers <= 1 {
 		for i := 0; i < trials; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -47,16 +53,31 @@ func ForEachTrial(trials, workers int, fn func(trial int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= trials {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// WorkerCount resolves the effective pool size ForEachTrialOnWorker will
+// use, so callers can pre-size per-worker state.
+func WorkerCount(trials, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }

@@ -20,8 +20,9 @@
 package detsamp
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // WeightedValue is a summary element standing for Weight stream elements
@@ -82,7 +83,7 @@ func (m *MergeReduce) Insert(x int64) {
 	}
 	buf := append([]int64(nil), m.accum...)
 	m.accum = m.accum[:0]
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	slices.Sort(buf)
 	m.carry(0, buf)
 }
 
@@ -162,7 +163,7 @@ func (m *MergeReduce) WeightedValues() []WeightedValue {
 		}
 		w *= 2
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	slices.SortFunc(out, func(a, b WeightedValue) int { return cmp.Compare(a.Value, b.Value) })
 	return out
 }
 
@@ -206,7 +207,7 @@ func PrefixDiscrepancy(stream []int64, summary []WeightedValue) float64 {
 		return 1
 	}
 	xs := append([]int64(nil), stream...)
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	totalW := int64(0)
 	for _, wv := range summary {
 		totalW += wv.Weight

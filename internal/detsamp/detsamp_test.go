@@ -2,6 +2,7 @@ package detsamp
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"testing"
 
@@ -169,7 +170,7 @@ func TestQuantileAccuracy(t *testing.T) {
 		m.Insert(stream[i])
 	}
 	sorted := append([]int64(nil), stream...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
 		got := m.Quantile(q)
 		// True rank of the returned value must be within 3% of q*n.

@@ -41,15 +41,52 @@ type Sampler interface {
 }
 
 // SampleDeltaReporter is an optional Sampler extension reporting how the
-// sample multiset changed in the most recent Offer: the elements added and
-// the elements displaced (the reservoir eviction path). RunContinuous uses
-// it to keep its incremental discrepancy accumulator in sync with the sample
-// in O(1) per round; samplers that do not implement it fall back to an
-// O(|sample|) rebuild per checkpoint. All samplers in this repository
-// implement it. The returned slices are valid until the next Offer and must
-// not be mutated.
+// sample multiset changed in the most recent Offer (or, cumulatively, the
+// most recent OfferBatch): the elements added and the elements displaced
+// (the reservoir eviction path). RunContinuous uses it to keep its
+// incremental discrepancy accumulator in sync with the sample in O(1) per
+// round; samplers that do not implement it fall back to an O(|sample|)
+// rebuild per checkpoint. All samplers in this repository implement it. The
+// returned slices are valid until the next Offer/OfferBatch and must not be
+// mutated.
 type SampleDeltaReporter interface {
 	LastDelta() (added, removed []int64)
+}
+
+// BatchSampler is an optional Sampler extension for bulk ingest: OfferBatch
+// processes a run of consecutive stream elements in one call, with results
+// invariant to how the stream is sliced into batches (the repository's
+// reservoir-family samplers additionally draw randomness bit-identically to
+// per-element Offers; Bernoulli's batch path uses geometric gap-skipping —
+// the same admission law through different draws). The games use it to
+// ingest the spans between adversary decisions or checkpoints without
+// per-element interface-call overhead.
+type BatchSampler interface {
+	OfferBatch(xs []int64, r *rng.RNG) int
+}
+
+// StreamGenerator is an optional Adversary extension for non-adaptive
+// strategies: GenerateStream returns the full n-round stream in one call,
+// drawing from r exactly as n successive Next calls would. Games detect it
+// to skip per-round Observation construction and drive BatchSampler ingest;
+// adaptive adversaries (which need the admission feedback round by round)
+// must not implement it.
+type StreamGenerator interface {
+	GenerateStream(n int, r *rng.RNG) []int64
+}
+
+// SpanChunkCap caps how many rounds the batched game loops ingest per
+// OfferBatch/AddStreamBatch call. Any positive value yields identical
+// results — batch ingestion is chunking-invariant — so this only tunes
+// working-set locality; robustbench exposes it as -chunk to demonstrate the
+// invariance.
+var SpanChunkCap = 8192
+
+func spanChunk() int {
+	if SpanChunkCap < 1 {
+		return 1
+	}
+	return SpanChunkCap
 }
 
 // Observation is what the adversary sees at the start of a round: precisely
@@ -105,6 +142,14 @@ func (r Result) String() string {
 // sampler and adversary are Reset before play. Sampler and adversary receive
 // independent RNG streams split from r, matching the paper's model where the
 // two players have private randomness.
+//
+// When the adversary is a StreamGenerator and the sampler a BatchSampler,
+// the round loop collapses to one stream generation plus chunked bulk
+// ingest — no per-round Observation or interface calls. For samplers whose
+// batch path draws randomness identically to per-element Offers (the
+// reservoir family) the outcome is bit-identical to the round loop;
+// Bernoulli's gap-skipping batch path selects an equally distributed sample
+// through different draws.
 func Run(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, r *rng.RNG) Result {
 	if n < 1 {
 		panic("game: stream length must be >= 1")
@@ -113,6 +158,24 @@ func Run(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, 
 	adv.Reset()
 	samplerRNG := r.Split()
 	advRNG := r.Split()
+
+	if gen, ok := adv.(StreamGenerator); ok {
+		if bs, ok := s.(BatchSampler); ok {
+			stream := generateStream(gen, n, advRNG)
+			for i := 0; i < n; i += spanChunk() {
+				bs.OfferBatch(stream[i:min(i+spanChunk(), n)], samplerRNG)
+			}
+			sample := append([]int64(nil), s.View()...)
+			d := sys.MaxDiscrepancy(stream, sample)
+			return Result{
+				Stream:      stream,
+				Sample:      sample,
+				Discrepancy: d,
+				Eps:         eps,
+				OK:          d.Err <= eps,
+			}
+		}
+	}
 
 	stream := make([]int64, 0, n)
 	lastAdmitted := false
@@ -202,6 +265,16 @@ func AllRounds(n int) []int {
 	return out
 }
 
+// generateStream asks a StreamGenerator for the full n-round stream and
+// validates its length (mirroring Static's short-stream panic).
+func generateStream(gen StreamGenerator, n int, r *rng.RNG) []int64 {
+	stream := gen.GenerateStream(n, r)
+	if len(stream) < n {
+		panic("game: stream generator produced short stream")
+	}
+	return stream[:n]
+}
+
 // normalizeCheckpoints returns the in-range checkpoints sorted ascending
 // with duplicates removed, always including the final round n.
 func normalizeCheckpoints(checkpoints []int, n int) []int {
@@ -230,7 +303,23 @@ func normalizeCheckpoints(checkpoints []int, n int) []int {
 // exact — the sample histogram is rebuilt from View at each checkpoint. The
 // per-checkpoint Discrepancy is bit-identical to
 // sys.MaxDiscrepancy(stream[:i], sample_i).
+//
+// When the adversary is a StreamGenerator and the sampler a delta-reporting
+// BatchSampler, the spans between checkpoints are driven through bulk
+// ingest (OfferBatch + AddStreamBatch in SpanChunkCap-sized chunks) instead
+// of the round loop; verdicts and trajectories are unchanged — bit-identical
+// for the reservoir family, equal in distribution for Bernoulli.
 func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, checkpoints []int, r *rng.RNG) ContinuousResult {
+	return RunContinuousWith(s, adv, sys, n, eps, checkpoints, r, nil)
+}
+
+// RunContinuousWith is RunContinuous with a caller-provided incremental
+// engine: acc must have been obtained from sys.NewAccumulator (it is Reset
+// before play) or be nil, in which case a fresh engine is allocated.
+// Monte-Carlo drivers pass one accumulator per worker so the engine's
+// compression tables and block storage are allocated once per worker
+// instead of once per game; results are identical either way.
+func RunContinuousWith(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps float64, checkpoints []int, r *rng.RNG, acc *setsystem.Accumulator) ContinuousResult {
 	if n < 1 {
 		panic("game: stream length must be >= 1")
 	}
@@ -241,7 +330,11 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 
 	cps := normalizeCheckpoints(checkpoints, n)
 
-	acc := sys.NewAccumulator()
+	if acc == nil {
+		acc = sys.NewAccumulator()
+	} else {
+		acc.Reset()
+	}
 	// Distinct values are bounded by both the universe and (for in-repo
 	// samplers, whose samples are stream subsets) the stream length; cap
 	// the pre-sizing so giant games don't over-allocate.
@@ -254,6 +347,12 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 	}
 	acc.Reserve(hint)
 	deltas, trackDeltas := s.(SampleDeltaReporter)
+
+	if gen, ok := adv.(StreamGenerator); ok && trackDeltas {
+		if bs, ok := s.(BatchSampler); ok {
+			return runContinuousBatched(s, bs, deltas, gen, sys, n, eps, cps, acc, samplerRNG, advRNG)
+		}
+	}
 
 	stream := make([]int64, 0, n)
 	lastAdmitted := false
@@ -310,6 +409,70 @@ func RunContinuous(s Sampler, adv Adversary, sys setsystem.SetSystem, n int, eps
 			}
 			final = d // round n is always the last checkpoint
 		}
+	}
+
+	sample := append([]int64(nil), s.View()...)
+	return ContinuousResult{
+		Result: Result{
+			Stream:      stream,
+			Sample:      sample,
+			Discrepancy: final,
+			Eps:         eps,
+			OK:          firstViolation == 0,
+		},
+		PrefixErrors:   prefixErrs,
+		MaxPrefixErr:   maxErr,
+		FirstViolation: firstViolation,
+	}
+}
+
+// runContinuousBatched is RunContinuous's span loop for non-adaptive
+// adversaries and bulk-ingest samplers: the stream is generated once, each
+// inter-checkpoint span is offered and accumulated in chunks, and the
+// sample-side histogram is synced from the batch delta (additions applied
+// before removals, so an element admitted and evicted within one chunk
+// never drives a count negative). Checkpoint verdicts are produced by the
+// same Accumulator on the same multisets as the round loop, hence
+// bit-identical.
+func runContinuousBatched(s Sampler, bs BatchSampler, deltas SampleDeltaReporter, gen StreamGenerator, sys setsystem.SetSystem, n int, eps float64, cps []int, acc *setsystem.Accumulator, samplerRNG, advRNG *rng.RNG) ContinuousResult {
+	stream := generateStream(gen, n, advRNG)
+
+	var prefixErrs []PrefixError
+	maxErr := 0.0
+	firstViolation := 0
+	var final setsystem.Discrepancy
+
+	played := 0
+	for _, cp := range cps {
+		for played < cp {
+			j := min(played+spanChunk(), cp)
+			xs := stream[played:j]
+			bs.OfferBatch(xs, samplerRNG)
+			added, removed := deltas.LastDelta()
+			if len(removed) == 0 && slices.Equal(added, xs) {
+				// Every element admitted, none evicted (a filling
+				// reservoir): ingest both multisets in one pass.
+				acc.AddStreamAndSampleBatch(xs)
+			} else {
+				acc.AddStreamBatch(xs)
+				for _, a := range added {
+					acc.AddSample(a)
+				}
+				for _, e := range removed {
+					acc.RemoveSample(e)
+				}
+			}
+			played = j
+		}
+		d := acc.Max()
+		prefixErrs = append(prefixErrs, PrefixError{Round: cp, Err: d.Err})
+		if d.Err > maxErr {
+			maxErr = d.Err
+		}
+		if d.Err > eps && firstViolation == 0 {
+			firstViolation = cp
+		}
+		final = d // round n is always the last checkpoint
 	}
 
 	sample := append([]int64(nil), s.View()...)

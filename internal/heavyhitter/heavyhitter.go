@@ -13,7 +13,7 @@
 package heavyhitter
 
 import (
-	"sort"
+	"slices"
 
 	"robustsample/internal/rng"
 )
@@ -325,5 +325,5 @@ func Evaluate(stream []int64, reported []int64, alpha, eps float64) Evaluation {
 }
 
 func sortInt64(a []int64) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	slices.Sort(a)
 }

@@ -1,8 +1,9 @@
 package quantile
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"robustsample/internal/rng"
 )
@@ -70,7 +71,7 @@ func (s *KLL) Insert(x int64) {
 // compact halves level h into level h+1.
 func (s *KLL) compact(h int) {
 	buf := s.levels[h]
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	slices.Sort(buf)
 	offset := 0
 	if s.rng.Bernoulli(0.5) {
 		offset = 1
@@ -116,7 +117,7 @@ func (s *KLL) Quantile(q float64) int64 {
 	if len(items) == 0 {
 		panic("quantile: empty sketch")
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	slices.SortFunc(items, func(a, b wv) int { return cmp.Compare(a.v, b.v) })
 	totalW := 0.0
 	for _, it := range items {
 		totalW += it.w

@@ -20,6 +20,7 @@ package quantile
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"robustsample/internal/rng"
@@ -63,7 +64,7 @@ func (e *ExactRanker) Insert(x int64) {
 
 func (e *ExactRanker) ensureSorted() {
 	if !e.sorted {
-		sort.Slice(e.values, func(i, j int) bool { return e.values[i] < e.values[j] })
+		slices.Sort(e.values)
 		e.sorted = true
 	}
 }
@@ -202,7 +203,7 @@ func (s *SampleSketch) Quantile(q float64) int64 {
 	if len(sample) == 0 {
 		panic("quantile: empty sketch")
 	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	slices.Sort(sample)
 	idx := int(q*float64(len(sample))) - 1
 	if idx < 0 {
 		idx = 0
@@ -227,7 +228,7 @@ func MaxRankError(sk Sketch, stream []int64) float64 {
 		return 0
 	}
 	sorted := append([]int64(nil), stream...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	n := float64(len(sorted))
 	worst := 0.0
 	for i := 0; i < len(sorted); i++ {

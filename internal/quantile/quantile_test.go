@@ -1,12 +1,13 @@
 package quantile
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"testing"
-	"testing/quick"
 
 	"robustsample/internal/rng"
+	"testing/quick"
 )
 
 func uniformStream(n int, universe int64, r *rng.RNG) []int64 {
@@ -133,9 +134,9 @@ func TestGKRankWithinEps(t *testing.T) {
 		stream := uniformStream(n, 1<<20, r)
 		switch order {
 		case "sorted":
-			sort.Slice(stream, func(i, j int) bool { return stream[i] < stream[j] })
+			slices.Sort(stream)
 		case "reverse":
-			sort.Slice(stream, func(i, j int) bool { return stream[i] > stream[j] })
+			slices.SortFunc(stream, func(a, b int64) int { return cmp.Compare(b, a) })
 		}
 		for _, x := range stream {
 			g.Insert(x)

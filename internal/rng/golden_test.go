@@ -1,0 +1,113 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// The golden sequences below were captured from the original hand-rolled
+// 128-bit arithmetic (schoolbook mul128/add64) before it was replaced with
+// math/bits.Mul64/Add64 intrinsics. Every generator seeded anywhere in the
+// repository depends on these exact bits, so the intrinsic swap must not
+// change a single output: these tests pin the stream forever.
+
+func TestGoldenSequenceNew(t *testing.T) {
+	want := []uint64{
+		0x75d2e5bdf6cf3fd, 0x5706037afcfded1, 0xe43279ba266c775d,
+		0xb2fa3be088de94b1, 0x7878a0a526e32f61, 0xd54d9130a436de4b,
+		0x124e0174a9d74aa1, 0x54d6fc853deeda09, 0x5d99088d515d2f86,
+		0x5cdbdf06ae263e00, 0x838611e7325ef3fd, 0x8b9003d4487f3002,
+	}
+	r := New(12345)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("New(12345) draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestGoldenSequenceNewWithStream(t *testing.T) {
+	want := []uint64{
+		0x4bc551c644fb9670, 0x855f3738d8d72ea5, 0xa7b5b3179c209aeb,
+		0x30e82f67cabab62d, 0x5949103b7430c7db, 0x90039ff05f5a58d8,
+		0x9e3d5232a5d4b80, 0xc77097e365fbd866,
+	}
+	r := NewWithStream(99, 7)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("NewWithStream(99, 7) draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestGoldenSequenceSplit(t *testing.T) {
+	want := []uint64{
+		0xa352086f2738b876, 0x7735faa0a5b960b0, 0xd4a5c2fded837937,
+		0x8d6db953ad3860af, 0x14e89de21899000b, 0x14dd20df43745ef2,
+	}
+	c := New(0).Split()
+	for i, w := range want {
+		if got := c.Uint64(); got != w {
+			t.Fatalf("New(0).Split() draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestGoldenSequenceUint64n(t *testing.T) {
+	// Exercises the Lemire rejection path (bits.Mul64 high word).
+	want := []uint64{15029, 333233, 707498, 488809, 240250, 66034, 504727, 978609}
+	r := New(2020)
+	for i, w := range want {
+		if got := r.Uint64n(1000003); got != w {
+			t.Fatalf("Uint64n draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestGoldenSequenceFloat64(t *testing.T) {
+	want := []float64{
+		0.8497747194101226, 0.2763374157411276, 0.06590987795963288,
+		0.2192286835781705, 0.8272445437104065, 0.907115835586531,
+	}
+	r := New(555)
+	for i, w := range want {
+		if got := r.Float64(); got != w {
+			t.Fatalf("Float64 draw %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestGeometricInvMatchesGeometric checks that the precomputed-reciprocal
+// variant consumes the same uniforms and lands on the same (or adjacent,
+// when the two floating-point formulations round a boundary differently)
+// skip counts as Geometric across rates and seeds.
+func TestGeometricInvMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		invLogQ := 1 / math.Log1p(-p)
+		a := New(31)
+		b := New(31)
+		for i := 0; i < 2000; i++ {
+			g := a.Geometric(p)
+			gi := b.GeometricInv(invLogQ)
+			if d := g - gi; d < -1 || d > 1 {
+				t.Fatalf("p=%v draw %d: Geometric=%d GeometricInv=%d", p, i, g, gi)
+			}
+		}
+	}
+}
+
+func TestGeometricInvMean(t *testing.T) {
+	const p = 0.02
+	invLogQ := 1 / math.Log1p(-p)
+	r := New(77)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.GeometricInv(invLogQ))
+	}
+	mean := sum / n
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("GeometricInv mean %v, want ~%v", mean, want)
+	}
+}

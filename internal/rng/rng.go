@@ -13,7 +13,10 @@
 // here so that stream splitting is explicit and stable across Go releases.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a PCG-XSL-RR 128/64 generator. The zero value is not valid; use New.
 type RNG struct {
@@ -61,14 +64,15 @@ func splitmix(x uint64) uint64 {
 }
 
 // next advances the 128-bit LCG state and returns the previous state
-// passed through the XSL-RR output permutation.
+// passed through the XSL-RR output permutation. The 128-bit multiply and
+// add lower to single MULX/ADCX-style instructions via math/bits.
 func (r *RNG) next() uint64 {
 	oldHi, oldLo := r.hi, r.lo
 
-	// 128-bit multiply of state by mul.
-	hi, lo := mul128(oldHi, oldLo, mulHi, mulLo)
-	// 128-bit add of inc.
-	lo, carry := add64(lo, incLo)
+	// 128-bit multiply of state by mul, then 128-bit add of inc.
+	hi, lo := bits.Mul64(oldLo, mulLo)
+	hi += oldHi*mulLo + oldLo*mulHi
+	lo, carry := bits.Add64(lo, incLo, 0)
 	hi = hi + incHi + carry
 	r.hi, r.lo = hi, lo
 
@@ -76,35 +80,6 @@ func (r *RNG) next() uint64 {
 	xored := oldHi ^ oldLo
 	rot := uint(oldHi >> 58)
 	return xored>>rot | xored<<((64-rot)&63)
-}
-
-func mul128(aHi, aLo, bHi, bLo uint64) (hi, lo uint64) {
-	// Full 64x64 -> 128 of the low words.
-	const mask32 = 1<<32 - 1
-	a0, a1 := aLo&mask32, aLo>>32
-	b0, b1 := bLo&mask32, bLo>>32
-	t := a0 * b0
-	w0 := t & mask32
-	k := t >> 32
-	t = a1*b0 + k
-	w1 := t & mask32
-	w2 := t >> 32
-	t = a0*b1 + w1
-	k = t >> 32
-	lo = aLo * bLo
-	hi = a1*b1 + w2 + k
-	_ = w0
-	// Cross terms into the high word.
-	hi += aHi*bLo + aLo*bHi
-	return hi, lo
-}
-
-func add64(a, b uint64) (sum, carry uint64) {
-	sum = a + b
-	if sum < a {
-		carry = 1
-	}
-	return sum, carry
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
@@ -145,8 +120,7 @@ func (r *RNG) Uint64n(n uint64) uint64 {
 	}
 	// Rejection sampling on the high multiply.
 	for {
-		v := r.next()
-		hi, lo := mul128(0, v, 0, n)
+		hi, lo := bits.Mul64(r.next(), n)
 		if lo >= n || lo >= (-n)%n {
 			return hi
 		}
@@ -199,7 +173,29 @@ func (r *RNG) Geometric(p float64) int64 {
 	for u == 0 {
 		u = r.Float64()
 	}
-	return int64(math.Floor(math.Log(u) / math.Log(1-p)))
+	return saturateGeom(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// GeometricInv is Geometric with the reciprocal log precomputed: invLogQ
+// must equal 1/ln(1-p) for the desired success probability p in (0, 1).
+// Hot batch-ingest loops (Bernoulli gap-skipping) call this once per
+// admitted element, so hoisting the logarithm out of the loop matters.
+func (r *RNG) GeometricInv(invLogQ float64) int64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return saturateGeom(math.Floor(math.Log(u) * invLogQ))
+}
+
+// saturateGeom converts a floored geometric draw to int64, saturating at
+// MaxInt64: for microscopic p the exact draw overflows int64, and a
+// saturated skip is indistinguishable from it for any realizable stream.
+func saturateGeom(f float64) int64 {
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(f)
 }
 
 // Perm returns a random permutation of [0, n).

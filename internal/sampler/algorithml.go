@@ -76,8 +76,59 @@ func (v *ReservoirL[T]) Offer(x T, r *rng.RNG) bool {
 	return true
 }
 
+// OfferBatch processes a run of consecutive stream elements in one call. It
+// draws exactly the same randomness as per-element Offers (bit-identical
+// samples, chunking invariant) but consumes pending skips in a single jump
+// instead of one decrement per element, so long rejected stretches cost
+// O(1) per batch.
+func (v *ReservoirL[T]) OfferBatch(xs []T, r *rng.RNG) int {
+	v.delta.clear()
+	if len(xs) == 0 {
+		return 0
+	}
+	admitted := 0
+	i := 0
+	for i < len(xs) {
+		if len(v.items) < v.K {
+			x := xs[i]
+			i++
+			v.rounds++
+			v.items = append(v.items, x)
+			v.admitted++
+			v.delta.add(x)
+			admitted++
+			if len(v.items) == v.K {
+				v.advance(r)
+			}
+			continue
+		}
+		if v.skip > 0 {
+			jump := int64(len(xs) - i)
+			if jump > v.skip {
+				jump = v.skip
+			}
+			v.skip -= jump
+			v.rounds += int(jump)
+			i += int(jump)
+			continue
+		}
+		x := xs[i]
+		i++
+		v.rounds++
+		j := r.Intn(v.K)
+		v.delta.remove(v.items[j])
+		v.items[j] = x
+		v.admitted++
+		v.delta.add(x)
+		admitted++
+		v.advance(r)
+	}
+	return admitted
+}
+
 // LastDelta reports the element admitted by the most recent Offer and the
-// element it evicted, if any.
+// element it evicted, if any (or the cumulative delta of the most recent
+// OfferBatch).
 func (v *ReservoirL[T]) LastDelta() (added, removed []T) { return v.delta.view() }
 
 // advance updates w and draws the next skip count per Algorithm L:

@@ -36,34 +36,7 @@ func TestLastDeltaTracksView(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				x := 1 + r.Int63n(50)
 				admitted := s.Offer(x, r)
-				added, removed := s.LastDelta()
-				if !admitted && (len(added) != 0 || len(removed) != 0) {
-					t.Fatalf("round %d: rejected offer reported delta +%v -%v", i, added, removed)
-				}
-				for _, v := range removed {
-					shadow[v]--
-					if shadow[v] < 0 {
-						t.Fatalf("round %d: removed %d not in shadow sample", i, v)
-					}
-					if shadow[v] == 0 {
-						delete(shadow, v)
-					}
-				}
-				for _, v := range added {
-					shadow[v]++
-				}
-				view := map[int64]int{}
-				for _, v := range s.View() {
-					view[v]++
-				}
-				if len(view) != len(shadow) {
-					t.Fatalf("round %d: shadow %v != view %v", i, shadow, view)
-				}
-				for v, c := range view {
-					if shadow[v] != c {
-						t.Fatalf("round %d: shadow %v != view %v", i, shadow, view)
-					}
-				}
+				checkDeltaAgainstShadow(t, i, s, shadow, admitted)
 			}
 			// Reset must clear the pending delta.
 			s.Reset()
@@ -71,5 +44,68 @@ func TestLastDeltaTracksView(t *testing.T) {
 				t.Fatalf("delta survives Reset: +%v -%v", added, removed)
 			}
 		})
+	}
+}
+
+// deltaViewer is the read side of deltaSampler, shared with the weighted
+// variant (whose Offer takes a weight).
+type deltaViewer interface {
+	View() []int64
+	LastDelta() (added, removed []int64)
+}
+
+// checkDeltaAgainstShadow replays one round's delta into the shadow multiset
+// and checks it matches the sampler's view.
+func checkDeltaAgainstShadow(t *testing.T, round int, s deltaViewer, shadow map[int64]int, admitted bool) {
+	t.Helper()
+	added, removed := s.LastDelta()
+	if !admitted && (len(added) != 0 || len(removed) != 0) {
+		t.Fatalf("round %d: rejected offer reported delta +%v -%v", round, added, removed)
+	}
+	for _, v := range removed {
+		shadow[v]--
+		if shadow[v] < 0 {
+			t.Fatalf("round %d: removed %d not in shadow sample", round, v)
+		}
+		if shadow[v] == 0 {
+			delete(shadow, v)
+		}
+	}
+	for _, v := range added {
+		shadow[v]++
+	}
+	view := map[int64]int{}
+	for _, v := range s.View() {
+		view[v]++
+	}
+	if len(view) != len(shadow) {
+		t.Fatalf("round %d: shadow %v != view %v", round, shadow, view)
+	}
+	for v, c := range view {
+		if shadow[v] != c {
+			t.Fatalf("round %d: shadow %v != view %v", round, shadow, view)
+		}
+	}
+}
+
+// TestWeightedReservoirLastDelta mirrors TestLastDeltaTracksView for the
+// weighted sampler (whose Offer carries a weight): replayed deltas must
+// track the heap-ordered view exactly, including root displacements.
+func TestWeightedReservoirLastDelta(t *testing.T) {
+	r := rng.New(13)
+	w := NewWeightedReservoir[int64](8)
+	shadow := map[int64]int{}
+	for i := 0; i < 500; i++ {
+		x := 1 + r.Int63n(50)
+		weight := 0.25 + r.Float64()*4
+		if i%97 == 0 {
+			weight = 0 // never admitted; must report an empty delta
+		}
+		admitted := w.Offer(x, weight, r)
+		checkDeltaAgainstShadow(t, i, w, shadow, admitted)
+	}
+	w.Reset()
+	if added, removed := w.LastDelta(); len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("delta survives Reset: +%v -%v", added, removed)
 	}
 }

@@ -17,7 +17,7 @@ package sampler
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"robustsample/internal/rng"
 )
@@ -32,6 +32,14 @@ type Bernoulli[T any] struct {
 	items  []T
 	rounds int
 	delta  sampleDelta[T]
+
+	// Batch-ingest gap-skipping state: the number of upcoming batch
+	// elements to reject before the next admission, valid when hasSkip.
+	// Carrying it across OfferBatch calls makes batch results invariant
+	// to how the stream is chunked. invLogQ caches 1/ln(1-P).
+	skip    int64
+	hasSkip bool
+	invLogQ float64
 }
 
 // NewBernoulli returns a Bernoulli sampler with rate p. It panics unless
@@ -55,8 +63,63 @@ func (b *Bernoulli[T]) Offer(x T, r *rng.RNG) bool {
 	return false
 }
 
+// OfferBatch processes a run of consecutive stream elements in one call,
+// returning how many were admitted. Instead of one coin flip per element it
+// draws the gaps between admissions directly from the geometric distribution
+// (one logarithm per admitted element, against a precomputed 1/ln(1-P)), so
+// a benign stream at rate p costs O(p*n) RNG work instead of O(n). The
+// admission law is exactly i.i.d. Bernoulli(P) per element, and results do
+// not depend on how the stream is sliced into batches — only on the order
+// of elements offered — because the pending gap carries across calls.
+//
+// The batch path consumes randomness differently from per-element Offer, so
+// for a fixed RNG the two select different (equally distributed) samples.
+// LastDelta afterwards reports the batch's admissions.
+func (b *Bernoulli[T]) OfferBatch(xs []T, r *rng.RNG) int {
+	b.delta.clear()
+	if len(xs) == 0 {
+		return 0
+	}
+	n := len(xs)
+	b.rounds += n
+	switch {
+	case b.P <= 0:
+		return 0
+	case b.P >= 1:
+		b.items = append(b.items, xs...)
+		for _, x := range xs {
+			b.delta.add(x)
+		}
+		return n
+	}
+	if b.invLogQ == 0 {
+		b.invLogQ = 1 / math.Log1p(-b.P)
+	}
+	admitted := 0
+	i := 0
+	for {
+		if !b.hasSkip {
+			b.skip = r.GeometricInv(b.invLogQ)
+			b.hasSkip = true
+		}
+		if b.skip >= int64(n-i) {
+			b.skip -= int64(n - i)
+			break
+		}
+		i += int(b.skip)
+		x := xs[i]
+		b.items = append(b.items, x)
+		b.delta.add(x)
+		admitted++
+		i++
+		b.hasSkip = false
+	}
+	return admitted
+}
+
 // LastDelta reports how the sample multiset changed in the most recent
-// Offer; Bernoulli sampling never evicts, so removed is always empty.
+// Offer or OfferBatch; Bernoulli sampling never evicts, so removed is
+// always empty.
 func (b *Bernoulli[T]) LastDelta() (added, removed []T) { return b.delta.view() }
 
 // View returns the current sample without copying. Callers must not mutate
@@ -77,6 +140,8 @@ func (b *Bernoulli[T]) Reset() {
 	b.items = b.items[:0]
 	b.rounds = 0
 	b.delta.clear()
+	b.skip = 0
+	b.hasSkip = false
 }
 
 // sampleDelta records the multiset change of one Offer without allocating:
@@ -125,8 +190,15 @@ func NewReservoir[T any](k int) *Reservoir[T] {
 // Offer processes the next stream element, returning whether it entered the
 // reservoir (possibly evicting an older element).
 func (v *Reservoir[T]) Offer(x T, r *rng.RNG) bool {
-	v.rounds++
 	v.delta.clear()
+	return v.offerOne(x, r)
+}
+
+// offerOne is the per-element admission step shared by Offer and
+// OfferBatch, so the two paths cannot drift apart (the batch path's
+// bit-identical-randomness guarantee depends on them staying the same).
+func (v *Reservoir[T]) offerOne(x T, r *rng.RNG) bool {
+	v.rounds++
 	if len(v.items) < v.K {
 		v.items = append(v.items, x)
 		v.admitted++
@@ -147,8 +219,27 @@ func (v *Reservoir[T]) Offer(x T, r *rng.RNG) bool {
 	return false
 }
 
+// OfferBatch processes a run of consecutive stream elements in one call,
+// returning how many entered the reservoir. It draws exactly the same
+// randomness as offering the elements one at a time, so the resulting
+// sample is bit-identical to the per-element path and independent of how
+// the stream is sliced into batches; the win is amortizing call and delta
+// bookkeeping overhead across the run. LastDelta afterwards reports the
+// batch's net admissions and evictions (adds first, then removals).
+func (v *Reservoir[T]) OfferBatch(xs []T, r *rng.RNG) int {
+	v.delta.clear()
+	admitted := 0
+	for _, x := range xs {
+		if v.offerOne(x, r) {
+			admitted++
+		}
+	}
+	return admitted
+}
+
 // LastDelta reports the element admitted by the most recent Offer and the
-// element it evicted, if any.
+// element it evicted, if any (or the cumulative delta of the most recent
+// OfferBatch).
 func (v *Reservoir[T]) LastDelta() (added, removed []T) { return v.delta.view() }
 
 // View returns the current sample without copying; callers must not mutate.
@@ -197,6 +288,7 @@ type WeightedReservoir[T any] struct {
 	keys   []float64
 	items  []T
 	rounds int
+	delta  sampleDelta[T]
 }
 
 // NewWeightedReservoir returns a weighted reservoir of capacity k. It panics
@@ -213,6 +305,7 @@ func NewWeightedReservoir[T any](k int) *WeightedReservoir[T] {
 // admitted.
 func (w *WeightedReservoir[T]) Offer(x T, weight float64, r *rng.RNG) bool {
 	w.rounds++
+	w.delta.clear()
 	if weight <= 0 || math.IsNaN(weight) {
 		return false
 	}
@@ -223,16 +316,25 @@ func (w *WeightedReservoir[T]) Offer(x T, weight float64, r *rng.RNG) bool {
 	key := math.Pow(u, 1/weight)
 	if len(w.items) < w.K {
 		w.push(key, x)
+		w.delta.add(x)
 		return true
 	}
 	if key <= w.keys[0] {
 		return false
 	}
+	w.delta.remove(w.items[0])
 	w.keys[0] = key
 	w.items[0] = x
+	w.delta.add(x)
 	w.siftDown(0)
 	return true
 }
+
+// LastDelta reports the element admitted by the most recent Offer and the
+// element it displaced from the heap root, if any. It lets continuous games
+// keep an incremental discrepancy accumulator in sync with the weighted
+// sample in O(1) per round instead of rebuilding from View per checkpoint.
+func (w *WeightedReservoir[T]) LastDelta() (added, removed []T) { return w.delta.view() }
 
 func (w *WeightedReservoir[T]) push(key float64, x T) {
 	w.keys = append(w.keys, key)
@@ -290,6 +392,7 @@ func (w *WeightedReservoir[T]) Reset() {
 	w.keys = w.keys[:0]
 	w.items = w.items[:0]
 	w.rounds = 0
+	w.delta.clear()
 }
 
 // WithReplacement maintains K independent uniform samples of size one (K
@@ -317,9 +420,15 @@ func NewWithReplacement[T any](k int) *WithReplacement[T] {
 
 // Offer processes the next element; it returns true if any slot adopted it.
 func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
-	s.rounds++
 	s.delta.clear()
-	admitted := false
+	return s.offerOne(x, r)
+}
+
+// offerOne is the per-element adoption step shared by Offer and OfferBatch,
+// so the two paths cannot drift apart (the batch path's bit-identical-
+// randomness guarantee depends on them staying the same).
+func (s *WithReplacement[T]) offerOne(x T, r *rng.RNG) bool {
+	s.rounds++
 	if s.rounds == 1 {
 		for i := range s.items {
 			s.items[i] = x
@@ -333,6 +442,7 @@ func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
 	// geometric skips to stay O(adoptions) per round in expectation.
 	p := 1 / float64(s.rounds)
 	i := 0
+	admitted := false
 	for i < s.K {
 		skip := r.Geometric(p)
 		if skip > int64(s.K-i-1) {
@@ -348,8 +458,24 @@ func (s *WithReplacement[T]) Offer(x T, r *rng.RNG) bool {
 	return admitted
 }
 
+// OfferBatch processes a run of consecutive elements with exactly the same
+// randomness as per-element Offers (bit-identical samples, chunking
+// invariant), amortizing call and delta overhead. It returns the number of
+// rounds in which any slot adopted the offered element.
+func (s *WithReplacement[T]) OfferBatch(xs []T, r *rng.RNG) int {
+	s.delta.clear()
+	admitted := 0
+	for _, x := range xs {
+		if s.offerOne(x, r) {
+			admitted++
+		}
+	}
+	return admitted
+}
+
 // LastDelta reports the slot adoptions of the most recent Offer: one added
-// copy of the offered element per adopting slot, and the displaced values.
+// copy of the offered element per adopting slot, and the displaced values
+// (or the cumulative delta of the most recent OfferBatch).
 func (s *WithReplacement[T]) LastDelta() (added, removed []T) { return s.delta.view() }
 
 // View returns the slots without copying; callers must not mutate. Before
@@ -392,6 +518,6 @@ func (s *WithReplacement[T]) Reset() {
 // tests and verdicts.
 func SortedCopy(xs []int64) []int64 {
 	out := append([]int64(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

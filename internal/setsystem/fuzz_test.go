@@ -47,6 +47,75 @@ func FuzzIntervalDiscrepancyMatchesBrute(f *testing.F) {
 	})
 }
 
+// FuzzAccumulatorParity drives a random AddStream/AddSample/RemoveSample/Max
+// sequence decoded from fuzz bytes through the incremental block/hull engine
+// and demands bit-exact parity — error AND witness — with the one-shot
+// MaxDiscrepancy, for all four set systems. Small forced block lengths keep
+// the multi-block machinery (offset pass, hull queries, splits, witness
+// rescans) in play even on short inputs.
+func FuzzAccumulatorParity(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46})
+	f.Add([]byte{0x81, 0x81, 0x81, 0x41, 0x01})
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80, 0x3c, 0xbd, 0xbd})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return
+		}
+		const universe = 32
+		systems := []SetSystem{
+			NewPrefixes(universe), NewIntervals(universe),
+			NewSingletons(universe), NewSuffixes(universe),
+		}
+		for _, sys := range systems {
+			acc := sys.NewAccumulator()
+			acc.blockB = 3
+			var stream, sample []int64
+			for i, b := range data {
+				x := int64(b&0x1f) + 1 // value in [1, 32]
+				switch op := b >> 5; {
+				case op <= 3: // AddStream (weighted: streams dominate)
+					stream = append(stream, x)
+					acc.AddStream(x)
+				case op <= 5: // AddSample
+					sample = append(sample, x)
+					acc.AddSample(x)
+				case op == 6: // RemoveSample of an existing element
+					if len(sample) > 0 {
+						j := i % len(sample)
+						acc.RemoveSample(sample[j])
+						sample[j] = sample[len(sample)-1]
+						sample = sample[:len(sample)-1]
+					}
+				default: // checkpoint
+					checkParity(t, sys, acc, stream, sample)
+				}
+			}
+			checkParity(t, sys, acc, stream, sample)
+		}
+	})
+}
+
+// checkParity demands bit-exact agreement between the incremental engine and
+// the one-shot on the current multisets. The empty stream is the one pinned
+// divergence: both report error 0, but the accumulator returns the zero
+// Discrepancy while the one-shot suffix system reports a degenerate [1, N]
+// witness — so witnesses are only compared once the stream is non-empty.
+func checkParity(t *testing.T, sys SetSystem, acc *Accumulator, stream, sample []int64) {
+	t.Helper()
+	got, want := acc.Max(), sys.MaxDiscrepancy(stream, sample)
+	if len(stream) == 0 {
+		if got.Err != want.Err {
+			t.Fatalf("%s: empty-stream err %v != one-shot %v", sys.Name(), got.Err, want.Err)
+		}
+		return
+	}
+	if got != want {
+		t.Fatalf("%s: accumulator %v != one-shot %v (stream=%v sample=%v)",
+			sys.Name(), got, want, stream, sample)
+	}
+}
+
 // FuzzPrefixDiscrepancyMatchesBrute is the prefix-system analogue.
 func FuzzPrefixDiscrepancyMatchesBrute(f *testing.F) {
 	f.Add([]byte{1, 2, 3}, []byte{2})

@@ -33,25 +33,35 @@
 //	// res.View() is an eps-approximation of the stream with probability
 //	// >= 1-delta, no matter how adaptively the stream was chosen.
 //
-// # Performance: incremental discrepancy and parallel trials
+// # Performance: sublinear verdicts, batched ingest, parallel trials
 //
 // Exact verdicts are served by two engines that agree bit-for-bit (error
 // and witness): the one-shot MaxDiscrepancy (sort + merge-scan, used for a
 // single verdict) and the incremental Accumulator obtained from
 // SetSystem.NewAccumulator. The Accumulator maintains coordinate-compressed
-// histograms of the stream and sample — AddStream, AddSample and
-// RemoveSample (the reservoir eviction path) are O(1) expected per update —
-// and Max() evaluates the exact discrepancy in one sweep over the distinct
-// values seen, so continuous games (RunContinuousGame) re-verdict each
-// checkpoint without re-sorting the whole prefix. Both engines compare
-// integer numerators of the CDF difference in exact int64 arithmetic;
-// floating point enters only in the final division.
+// histograms of the stream and sample — AddStream/AddStreamBatch, AddSample
+// and RemoveSample (the reservoir eviction path) are O(1) expected per
+// update — and Max() runs a block/convex-hull engine: distinct values are
+// grouped into ~sqrt(U) sorted blocks whose cached hulls answer the linear
+// functional num(t) = Cx(t)·|S| − Cs(t)·|X| in O(log B) per clean block, so
+// checkpoint-dense continuous games (RunContinuousGame) re-verdict in
+// O(dirty·B + (U/B)·log B) instead of sweeping every distinct value, and
+// span-heavy games degrade gracefully to the flat sweep. Both engines
+// compare integer numerators of the CDF difference in exact int64
+// arithmetic; floating point enters only in the final division.
 //
 //	acc := sys.NewAccumulator()
-//	acc.AddStream(x)            // per stream element
+//	acc.AddStream(x)            // per stream element (AddStreamBatch for runs)
 //	acc.AddSample(x)            // element entered the sample
 //	acc.RemoveSample(y)         // element evicted from the sample
-//	d := acc.Max()              // exact Discrepancy, O(distinct values)
+//	d := acc.Max()              // exact Discrepancy, sublinear when checkpoint-dense
+//
+// Stream ingest is batched end-to-end for non-adaptive inputs: every
+// sampler offers OfferBatch (the reservoir family draws bit-identically to
+// per-element Offers; Bernoulli gap-skips rejected stretches with one
+// geometric draw per admitted element), and the games detect non-adaptive
+// adversaries to collapse their round loops into chunked bulk ingest.
+// Batch results never depend on how a stream is sliced into batches.
 //
 // Monte-Carlo estimation (EstimateRobustness and the experiment harness
 // under cmd/robustbench) fans independent trials out across a worker pool:
@@ -60,7 +70,9 @@
 // streams are pre-split sequentially from the root before the fan-out and
 // results are reduced in trial order, so estimates and experiment tables
 // are byte-identical for every worker count (workers=1 reproduces the
-// historical serial loop exactly).
+// historical serial loop exactly); workers additionally reuse samplers,
+// adversaries and accumulators across their trials (full Reset per game),
+// keeping the hot loop allocation-free.
 package robustsample
 
 import (
