@@ -1,19 +1,25 @@
 package robustsample
 
 // This file holds one benchmark per experiment in DESIGN.md's index
-// (E1-E17), each regenerating the corresponding table at a reduced scale
-// per iteration, plus end-to-end throughput benchmarks of the public API.
-// Run the full-scale tables with:
+// (E1-E18), each regenerating the corresponding table at a reduced scale
+// per iteration, plus end-to-end throughput benchmarks of the public API
+// and the sharded engine. Run the full-scale tables with:
 //
 //	go run ./cmd/robustbench -all
 //
 // and individual ones with -exp E<n>.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	"robustsample/internal/bench"
+	"robustsample/internal/game"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+	"robustsample/internal/shard"
 )
 
 // benchCfg is the per-iteration configuration: small but non-degenerate.
@@ -52,6 +58,7 @@ func BenchmarkExpE14DeterministicCompare(b *testing.B) { runExp(b, "E14") }
 func BenchmarkExpE15MartingaleStructure(b *testing.B)  { runExp(b, "E15") }
 func BenchmarkExpE16WeightedReservoir(b *testing.B)    { runExp(b, "E16") }
 func BenchmarkExpE17ReservoirAblation(b *testing.B)    { runExp(b, "E17") }
+func BenchmarkExpE18ShardedSampling(b *testing.B)      { runExp(b, "E18") }
 
 // Throughput of the public API's robust samplers on a benign stream.
 
@@ -97,5 +104,44 @@ func BenchmarkExactBisectionAttack(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		RunBisectionAttackReservoir(10000, 20, root)
+	}
+}
+
+// Sharded-engine ingest throughput vs shard count: one fixed stream routed
+// across S shards (uniform routing, per-shard reservoirs), shards ingesting
+// in parallel, with a merged checkpoint verdict at the end of every pass.
+// SetBytes reports stream bytes so ns/op converts to MB/s; BENCH.md records
+// the throughput-vs-S table.
+
+func BenchmarkShardedIngest(b *testing.B) {
+	const n = 1 << 18
+	const universe = int64(1) << 20
+	gen := rng.New(9)
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = 1 + gen.Int63n(universe)
+	}
+	for _, S := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("S=%d", S), func(b *testing.B) {
+			eng := shard.New(shard.Config{
+				Shards: S,
+				Router: shard.Uniform{},
+				System: setsystem.NewPrefixes(universe),
+				NewSampler: func(int) game.Sampler {
+					return sampler.NewReservoir[int64](2048)
+				},
+			}, nil)
+			root := rng.New(3)
+			b.SetBytes(8 * n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.StartGame(root)
+				eng.Ingest(stream)
+				if eng.Verdict().Err < 0 {
+					b.Fatal("impossible verdict")
+				}
+			}
+		})
 	}
 }

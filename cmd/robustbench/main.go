@@ -7,7 +7,11 @@
 // CPUs); tables are byte-identical for every worker count, so -workers only
 // changes wall-clock time. Non-adaptive games ingest their streams in
 // batches (-chunk elements per batch); batch ingestion is chunking-
-// invariant, so -chunk also only changes wall-clock time.
+// invariant, so -chunk also only changes wall-clock time. The sharded
+// experiment E18 sweeps its shard count with -shards; unlike -workers and
+// -chunk this selects a different measured configuration (per-shard
+// samplers draw their own RNG streams), so it changes the E18 table — and
+// only that one.
 //
 // Usage:
 //
@@ -15,6 +19,7 @@
 //	robustbench -exp E3              # run a single experiment
 //	robustbench -list                # list experiment IDs and titles
 //	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7 -workers 4
+//	robustbench -exp E18 -shards 16  # sharded engine at S=16
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -38,13 +43,14 @@ func main() {
 		scale   = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
 		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
 		chunk   = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
+		shards  = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
 	)
 	flag.Parse()
 
 	if *chunk > 0 {
 		game.SpanChunkCap = *chunk
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards}
 
 	switch {
 	case *list:

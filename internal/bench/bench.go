@@ -36,6 +36,12 @@ type Config struct {
 	// are byte-identical for every worker count — per-trial RNGs are
 	// pre-split sequentially and results reduced in trial order.
 	Workers int
+	// Shards pins the shard count of the sharded experiment (E18): 0 (the
+	// default) sweeps the reference ladder {1, 2, 4, 8}; any other value
+	// sweeps {1, Shards}. Unlike Workers it selects a different measured
+	// configuration, so different values legitimately change the E18
+	// table (and only that table).
+	Shards int
 }
 
 // DefaultConfig is the reference configuration for the DESIGN.md tables.
@@ -195,6 +201,7 @@ func All() []Experiment {
 		{"E15", "Section 4: martingale structure and Freedman-bound tightness", ExpE15},
 		{"E16", "Section 1.3: weighted reservoir sampling extension", ExpE16},
 		{"E17", "Ablation: reservoir variants (Algorithm R / Algorithm L / with-replacement)", ExpE17},
+		{"E18", "Section 1.3: sharded continuous sampling with mergeable verdicts", ExpE18},
 	}
 	slices.SortFunc(exps, func(a, b Experiment) int {
 		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))

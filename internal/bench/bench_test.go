@@ -14,8 +14,8 @@ func quickCfg() Config {
 
 func TestAllExperimentsPresent(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
@@ -92,7 +92,7 @@ func TestRunAll(t *testing.T) {
 	var buf bytes.Buffer
 	RunAll(quickCfg(), &buf)
 	out := buf.String()
-	for i := 1; i <= 17; i++ {
+	for i := 1; i <= 18; i++ {
 		if !strings.Contains(out, "E"+strconv.Itoa(i)+":") {
 			t.Fatalf("RunAll output missing E%d", i)
 		}

@@ -12,7 +12,7 @@ import (
 // bespoke attack loops, and the martingale harness) serially and on an
 // oversubscribed pool, and requires byte-identical tables.
 func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
-	for _, id := range []string{"E1", "E3", "E5", "E15"} {
+	for _, id := range []string{"E1", "E3", "E5", "E15", "E18"} {
 		exp, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s missing", id)
@@ -40,7 +40,7 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 // invariant to how streams are sliced.
 func TestTablesByteIdenticalAcrossChunkSizes(t *testing.T) {
 	defer func(old int) { game.SpanChunkCap = old }(game.SpanChunkCap)
-	for _, id := range []string{"E1", "E5"} {
+	for _, id := range []string{"E1", "E5", "E18"} {
 		exp, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s missing", id)

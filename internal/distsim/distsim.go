@@ -6,6 +6,13 @@
 // how unrepresentative can an adaptive client make one server's view of the
 // workload?
 //
+// The simulation runs on the general sharded engine (internal/shard): a
+// Cluster is a routing-only engine recording per-server substreams, and a
+// Coordinator attaches per-server reservoirs and answers global queries
+// through the engine's [CTW16]/[CMYZ12] primitives — MergeSamples for a
+// uniform union sample, merged accumulators (GlobalVerdict) for exact union
+// discrepancies without re-reading any substream.
+//
 // The package measures per-server representativeness as the Kolmogorov-
 // Smirnov (prefix-system) distance between the server's substream and the
 // full stream, under three workloads:
@@ -27,32 +34,55 @@ import (
 	"robustsample/internal/game"
 	"robustsample/internal/rng"
 	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+	"robustsample/internal/shard"
 	"robustsample/internal/stats"
 )
 
-// Cluster is a set of K servers receiving a routed query stream.
+// Cluster is a set of K servers receiving a routed query stream: a
+// routing-only (or, via NewCoordinator, sampler-carrying) view over a
+// sharded engine with uniform routing and raw substream recording.
 type Cluster struct {
 	// K is the number of servers.
 	K int
 
-	stream  []int64
-	servers [][]int64
+	eng *shard.Engine
 }
 
-// NewCluster returns an empty cluster with k servers. It panics unless
-// k >= 2.
-func NewCluster(k int) *Cluster {
+// NewCluster returns an empty cluster of k servers whose routing draws from
+// streams split off r. It panics unless k >= 2.
+func NewCluster(k int, r *rng.RNG) *Cluster {
 	if k < 2 {
 		panic("distsim: need at least 2 servers")
 	}
-	return &Cluster{K: k, servers: make([][]int64, k)}
+	return &Cluster{K: k, eng: shard.New(shard.Config{
+		Shards:        k,
+		Router:        shard.Uniform{},
+		RecordStreams: true,
+	}, r)}
+}
+
+// newCoordinatorCluster is NewCluster with per-server reservoirs attached.
+func newCoordinatorCluster(k, localCapacity int, r *rng.RNG) *Cluster {
+	if k < 2 {
+		panic("distsim: need at least 2 servers")
+	}
+	return &Cluster{K: k, eng: shard.New(shard.Config{
+		Shards: k,
+		Router: shard.Uniform{},
+		// Queries are arbitrary int64 keys; the universe only bounds
+		// verdict witnesses.
+		System: setsystem.NewPrefixes(math.MaxInt64),
+		NewSampler: func(int) game.Sampler {
+			return sampler.NewReservoir[int64](localCapacity)
+		},
+		RecordStreams: true,
+	}, r)}
 }
 
 // Route assigns query x to a uniformly random server and returns its index.
-func (c *Cluster) Route(x int64, r *rng.RNG) int {
-	s := r.Intn(c.K)
-	c.stream = append(c.stream, x)
-	c.servers[s] = append(c.servers[s], x)
+func (c *Cluster) Route(x int64) int {
+	s, _ := c.eng.Offer(x)
 	return s
 }
 
@@ -62,20 +92,22 @@ func (c *Cluster) RouteTo(x int64, server int) {
 	if server < 0 || server >= c.K {
 		panic("distsim: server index out of range")
 	}
-	c.stream = append(c.stream, x)
-	c.servers[server] = append(c.servers[server], x)
+	c.eng.RouteTo(x, server)
 }
 
+// Engine exposes the underlying sharded engine.
+func (c *Cluster) Engine() *shard.Engine { return c.eng }
+
 // Stream returns the full query stream.
-func (c *Cluster) Stream() []int64 { return c.stream }
+func (c *Cluster) Stream() []int64 { return c.eng.Stream() }
 
 // Server returns server i's substream.
-func (c *Cluster) Server(i int) []int64 { return c.servers[i] }
+func (c *Cluster) Server(i int) []int64 { return c.eng.Substream(i) }
 
 // ServerKS returns the KS (prefix-system) distance between server i's
 // substream and the full stream; 0 is perfectly representative.
 func (c *Cluster) ServerKS(i int) float64 {
-	return stats.KSDistanceInt64(c.stream, c.servers[i])
+	return stats.KSDistanceInt64(c.eng.Stream(), c.eng.Substream(i))
 }
 
 // MaxKS returns the worst per-server KS distance.
@@ -120,9 +152,9 @@ type Outcome struct {
 
 // RunUniform routes n i.i.d. uniform queries over [1, universe].
 func RunUniform(k, n int, universe int64, r *rng.RNG) Outcome {
-	c := NewCluster(k)
+	c := NewCluster(k, r)
 	for i := 0; i < n; i++ {
-		c.Route(1+r.Int63n(universe), r)
+		c.Route(1 + r.Int63n(universe))
 	}
 	return Outcome{Workload: "uniform", N: n, K: k, TargetKS: c.ServerKS(0), MaxKS: c.MaxKS()}
 }
@@ -131,7 +163,7 @@ func RunUniform(k, n int, universe int64, r *rng.RNG) Outcome {
 // universe over time (a non-adversarial environmental change): query i is
 // uniform over a window centered at (i/n)*universe.
 func RunDrift(k, n int, universe int64, r *rng.RNG) Outcome {
-	c := NewCluster(k)
+	c := NewCluster(k, r)
 	window := universe / 10
 	if window < 1 {
 		window = 1
@@ -146,7 +178,7 @@ func RunDrift(k, n int, universe int64, r *rng.RNG) Outcome {
 		if hi > universe {
 			hi = universe
 		}
-		c.Route(lo+r.Int63n(hi-lo+1), r)
+		c.Route(lo + r.Int63n(hi-lo+1))
 	}
 	return Outcome{Workload: "drift", N: n, K: k, TargetKS: c.ServerKS(0), MaxKS: c.MaxKS()}
 }
@@ -157,49 +189,37 @@ func RunDrift(k, n int, universe int64, r *rng.RNG) Outcome {
 // uniform sample of the union stream to answer global queries without
 // shipping raw substreams.
 type Coordinator struct {
-	cluster    *Cluster
-	reservoirs []*sampler.Reservoir[int64]
+	c *Cluster
 }
 
 // NewCoordinator attaches per-server reservoirs of the given capacity to a
-// fresh cluster of k servers.
-func NewCoordinator(k, localCapacity int) *Coordinator {
-	c := NewCluster(k)
-	res := make([]*sampler.Reservoir[int64], k)
-	for i := range res {
-		res[i] = sampler.NewReservoir[int64](localCapacity)
-	}
-	return &Coordinator{cluster: c, reservoirs: res}
+// fresh cluster of k servers seeded from r.
+func NewCoordinator(k, localCapacity int, r *rng.RNG) *Coordinator {
+	return &Coordinator{c: newCoordinatorCluster(k, localCapacity, r)}
 }
 
 // Route forwards a query to a uniformly random server, which folds it into
 // its local reservoir.
-func (co *Coordinator) Route(x int64, r *rng.RNG) {
-	s := co.cluster.Route(x, r)
-	co.reservoirs[s].Offer(x, r)
+func (co *Coordinator) Route(x int64) {
+	co.c.eng.Offer(x)
 }
 
 // Cluster exposes the underlying cluster (full stream, substreams).
-func (co *Coordinator) Cluster() *Cluster { return co.cluster }
+func (co *Coordinator) Cluster() *Cluster { return co.c }
 
 // GlobalSample merges the per-server reservoirs into a uniform sample of
-// size k of the union stream, by pairwise population-weighted merging.
+// size k of the union stream, by pairwise population-weighted merging
+// (sampler.MergeSamples via the engine).
 func (co *Coordinator) GlobalSample(k int, r *rng.RNG) []int64 {
-	merged := append([]int64(nil), co.reservoirs[0].View()...)
-	pop := co.reservoirs[0].Rounds()
-	for i := 1; i < len(co.reservoirs); i++ {
-		next := co.reservoirs[i]
-		// Keep the running merge as large as its sources allow so later
-		// merges retain enough represented mass.
-		want := len(merged) + next.Len()
-		merged = sampler.MergeSamples(merged, pop, next.View(), next.Rounds(), want, r)
-		pop += next.Rounds()
-	}
-	if k > len(merged) {
-		k = len(merged)
-	}
-	r.Shuffle(len(merged), func(i, j int) { merged[i], merged[j] = merged[j], merged[i] })
-	return merged[:k]
+	return co.c.eng.GlobalSample(k, r)
+}
+
+// GlobalVerdict returns the exact prefix-system discrepancy of the union of
+// the per-server reservoirs against the union stream, computed by folding
+// the per-server accumulators (Accumulator.MergeFrom) — no substream is
+// re-read.
+func (co *Coordinator) GlobalVerdict() setsystem.Discrepancy {
+	return co.c.eng.Verdict()
 }
 
 // RunAdaptiveAttack runs the Figure-3 bisection attack against server 0
@@ -217,7 +237,7 @@ func RunAdaptiveAttack(k, n int, r *rng.RNG) Outcome {
 		routes[round-1] = s
 		return s == 0
 	})
-	c := NewCluster(k)
+	c := NewCluster(k, r)
 	for i, x := range res.Stream {
 		c.RouteTo(x, routes[i])
 	}
@@ -239,16 +259,14 @@ func RunBoundedAdaptiveAttack(k, n int, universe int64, r *rng.RNG) Outcome {
 	}
 	bi := adversary.NewBisection(universe, pp)
 	bi.Reset()
-	c := NewCluster(k)
+	c := NewCluster(k, r)
 	lastAdmitted := false
 	var history []int64
 	for i := 1; i <= n; i++ {
 		obs := game.Observation{Round: i, N: n, History: history, LastAdmitted: lastAdmitted}
 		x := bi.Next(obs, r)
 		history = append(history, x)
-		s := r.Intn(k)
-		c.RouteTo(x, s)
-		lastAdmitted = s == 0
+		lastAdmitted = c.Route(x) == 0
 	}
 	return Outcome{Workload: "bounded-attack", N: n, K: k, TargetKS: c.ServerKS(0), MaxKS: c.MaxKS()}
 }

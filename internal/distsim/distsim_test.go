@@ -5,14 +5,15 @@ import (
 	"testing"
 
 	"robustsample/internal/rng"
+	"robustsample/internal/setsystem"
 )
 
 func TestClusterRoutingConservesQueries(t *testing.T) {
 	r := rng.New(1)
-	c := NewCluster(4)
+	c := NewCluster(4, r)
 	const n = 10000
 	for i := 0; i < n; i++ {
-		c.Route(int64(i), r)
+		c.Route(int64(i))
 	}
 	if len(c.Stream()) != n {
 		t.Fatalf("stream length %d", len(c.Stream()))
@@ -28,10 +29,10 @@ func TestClusterRoutingConservesQueries(t *testing.T) {
 
 func TestClusterRoutingBalanced(t *testing.T) {
 	r := rng.New(2)
-	c := NewCluster(5)
+	c := NewCluster(5, r)
 	const n = 50000
 	for i := 0; i < n; i++ {
-		c.Route(int64(i), r)
+		c.Route(int64(i))
 	}
 	want := float64(n) / 5
 	for i := 0; i < 5; i++ {
@@ -44,9 +45,9 @@ func TestClusterRoutingBalanced(t *testing.T) {
 
 func TestClusterValidation(t *testing.T) {
 	for _, f := range []func(){
-		func() { NewCluster(1) },
-		func() { NewCluster(2).RouteTo(1, 5) },
-		func() { NewCluster(2).RouteTo(1, -1) },
+		func() { NewCluster(1, rng.New(1)) },
+		func() { NewCluster(2, rng.New(1)).RouteTo(1, 5) },
+		func() { NewCluster(2, rng.New(1)).RouteTo(1, -1) },
 	} {
 		func() {
 			defer func() {
@@ -172,10 +173,10 @@ func TestPredictedEpsScaling(t *testing.T) {
 
 func BenchmarkRouting(b *testing.B) {
 	r := rng.New(1)
-	c := NewCluster(8)
+	c := NewCluster(8, r)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Route(int64(i), r)
+		c.Route(int64(i))
 	}
 }
 
@@ -191,10 +192,10 @@ func TestCoordinatorGlobalSampleRepresentative(t *testing.T) {
 	// Per-server reservoirs merged by the coordinator must form a
 	// representative sample of the union stream ([CTW16]-style pipeline).
 	r := rng.New(20)
-	co := NewCoordinator(4, 1000)
+	co := NewCoordinator(4, 1000, r)
 	const n = 20000
 	for i := 0; i < n; i++ {
-		co.Route(1+r.Int63n(1<<20), r)
+		co.Route(1 + r.Int63n(1<<20))
 	}
 	global := co.GlobalSample(2000, r)
 	if len(global) != 2000 {
@@ -215,9 +216,9 @@ func TestCoordinatorInclusionBalance(t *testing.T) {
 	total := 0
 	for trial := 0; trial < trials; trial++ {
 		r := root.Split()
-		co := NewCoordinator(3, 600)
+		co := NewCoordinator(3, 600, r)
 		for i := 0; i < n; i++ {
-			co.Route(int64(i), r)
+			co.Route(int64(i))
 		}
 		for _, v := range co.GlobalSample(300, r) {
 			total++
@@ -234,12 +235,34 @@ func TestCoordinatorInclusionBalance(t *testing.T) {
 
 func TestCoordinatorGlobalSampleClamped(t *testing.T) {
 	r := rng.New(22)
-	co := NewCoordinator(2, 10)
+	co := NewCoordinator(2, 10, r)
 	for i := 0; i < 5; i++ {
-		co.Route(int64(i), r)
+		co.Route(int64(i))
 	}
 	g := co.GlobalSample(100, r)
 	if len(g) != 5 {
 		t.Fatalf("should clamp to available elements, got %d", len(g))
+	}
+}
+
+func TestCoordinatorGlobalVerdictMatchesOneShot(t *testing.T) {
+	// The coordinator's merged verdict (Accumulator.MergeFrom over the
+	// per-server accumulators) must equal the one-shot MaxDiscrepancy on
+	// the full stream against the union of the reservoirs, bit for bit.
+	r := rng.New(23)
+	co := NewCoordinator(4, 500, r)
+	for i := 0; i < 20000; i++ {
+		co.Route(1 + r.Int63n(1<<20))
+	}
+	got := co.GlobalVerdict()
+	sys := setsystem.NewPrefixes(math.MaxInt64)
+	want := sys.MaxDiscrepancy(co.Cluster().Stream(), co.Cluster().Engine().Sample())
+	if got != want {
+		t.Fatalf("merged verdict %+v, one-shot %+v", got, want)
+	}
+	// 2000 pooled reservoir slots over a benign stream: the union sample
+	// should be comfortably representative.
+	if got.Err > 0.1 {
+		t.Fatalf("benign union sample unexpectedly unrepresentative: %v", got.Err)
 	}
 }

@@ -1,0 +1,40 @@
+// External test package: the example drives game.RunContinuous with real
+// samplers and adversaries, which import game themselves.
+package game_test
+
+import (
+	"fmt"
+
+	"robustsample/internal/adversary"
+	"robustsample/internal/game"
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+	"robustsample/internal/setsystem"
+)
+
+// The continuous adaptive game (Figure 2) checks the exact
+// eps-approximation error of the sample at every checkpoint of the growing
+// stream; one violation anywhere makes the game output 0.
+func ExampleRunContinuous() {
+	const universe = 1 << 16
+	const n = 4000
+	sys := setsystem.NewPrefixes(universe)
+
+	// A reservoir of 150 elements against a benign uniform stream,
+	// judged at the geometric checkpoint schedule from the proof of
+	// Theorem 1.4.
+	res := sampler.NewReservoir[int64](150)
+	adv := adversary.NewStaticUniform(universe)
+	cps := game.Checkpoints(1, n, 0.05)
+	out := game.RunContinuous(res, adv, sys, n, 0.25, cps, rng.New(42))
+
+	fmt.Println("rounds:", len(out.Stream))
+	fmt.Println("checkpoints:", len(out.PrefixErrors))
+	fmt.Println("ok:", out.OK, "violation-round:", out.FirstViolation)
+	fmt.Printf("max prefix error: %.3f (eps 0.25)\n", out.MaxPrefixErr)
+	// Output:
+	// rounds: 4000
+	// checkpoints: 140
+	// ok: true violation-round: 0
+	// max prefix error: 0.114 (eps 0.25)
+}

@@ -426,14 +426,38 @@ func RunContinuousWith(s Sampler, adv Adversary, sys setsystem.SetSystem, n int,
 	}
 }
 
+// IngestBatchSynced feeds one batch of consecutive stream elements through
+// the sampler's bulk path and keeps acc's two histograms exactly in step:
+// the stream side always ingests xs, and the sample side is synced from the
+// batch delta — additions applied before removals, so an element admitted
+// and evicted within one batch never drives a count negative. Spans where
+// the sampler admitted everything with no evictions (a filling reservoir)
+// ingest both multisets in one fused pass.
+//
+// This is the bit-exactness-critical step shared by the batched continuous
+// game and the shard engine's per-shard flush; keeping it in one place
+// keeps those paths incapable of drifting apart.
+func IngestBatchSynced(bs BatchSampler, deltas SampleDeltaReporter, acc *setsystem.Accumulator, xs []int64, r *rng.RNG) {
+	bs.OfferBatch(xs, r)
+	added, removed := deltas.LastDelta()
+	if len(removed) == 0 && slices.Equal(added, xs) {
+		acc.AddStreamAndSampleBatch(xs)
+		return
+	}
+	acc.AddStreamBatch(xs)
+	for _, a := range added {
+		acc.AddSample(a)
+	}
+	for _, e := range removed {
+		acc.RemoveSample(e)
+	}
+}
+
 // runContinuousBatched is RunContinuous's span loop for non-adaptive
-// adversaries and bulk-ingest samplers: the stream is generated once, each
-// inter-checkpoint span is offered and accumulated in chunks, and the
-// sample-side histogram is synced from the batch delta (additions applied
-// before removals, so an element admitted and evicted within one chunk
-// never drives a count negative). Checkpoint verdicts are produced by the
-// same Accumulator on the same multisets as the round loop, hence
-// bit-identical.
+// adversaries and bulk-ingest samplers: the stream is generated once, and
+// each inter-checkpoint span is offered and accumulated in chunks via
+// IngestBatchSynced. Checkpoint verdicts are produced by the same
+// Accumulator on the same multisets as the round loop, hence bit-identical.
 func runContinuousBatched(s Sampler, bs BatchSampler, deltas SampleDeltaReporter, gen StreamGenerator, sys setsystem.SetSystem, n int, eps float64, cps []int, acc *setsystem.Accumulator, samplerRNG, advRNG *rng.RNG) ContinuousResult {
 	stream := generateStream(gen, n, advRNG)
 
@@ -446,22 +470,7 @@ func runContinuousBatched(s Sampler, bs BatchSampler, deltas SampleDeltaReporter
 	for _, cp := range cps {
 		for played < cp {
 			j := min(played+spanChunk(), cp)
-			xs := stream[played:j]
-			bs.OfferBatch(xs, samplerRNG)
-			added, removed := deltas.LastDelta()
-			if len(removed) == 0 && slices.Equal(added, xs) {
-				// Every element admitted, none evicted (a filling
-				// reservoir): ingest both multisets in one pass.
-				acc.AddStreamAndSampleBatch(xs)
-			} else {
-				acc.AddStreamBatch(xs)
-				for _, a := range added {
-					acc.AddSample(a)
-				}
-				for _, e := range removed {
-					acc.RemoveSample(e)
-				}
-			}
+			IngestBatchSynced(bs, deltas, acc, stream[played:j], samplerRNG)
 			played = j
 		}
 		d := acc.Max()

@@ -1,0 +1,131 @@
+// The sharded continuous game: the Figure-2 loop played against a
+// coordinator that routes the adversary's stream across shards. The game
+// drives the engine through the ShardedEngine interface (implemented by
+// internal/shard) so the game layer stays independent of the shard layer's
+// mechanics; everything the verdict needs — merged accumulators, union
+// samples — lives behind the interface.
+package game
+
+import (
+	"robustsample/internal/rng"
+	"robustsample/internal/setsystem"
+)
+
+// ShardedEngine is the coordinator-side contract RunSharded plays against.
+// internal/shard.Engine is the canonical implementation. The engine owns the
+// set system, the routing policy, and every shard's sampler and incremental
+// accumulator; the game only feeds it elements and asks for verdicts.
+//
+// Implementations must be deterministic functions of the StartGame seed and
+// the offered elements (worker counts and ingest chunking must not matter),
+// and Verdict must agree bit-for-bit with the set system's MaxDiscrepancy on
+// the concatenated stream against the union sample.
+type ShardedEngine interface {
+	// StartGame resets all shard state and re-seeds the engine's RNG
+	// streams from r.
+	StartGame(r *rng.RNG)
+	// Offer routes one element adaptively, reporting the destination
+	// shard and whether its sampler admitted the element.
+	Offer(x int64) (shardIdx int, admitted bool)
+	// Ingest bulk-routes a run of consecutive elements (the non-adaptive
+	// span path; shards may ingest in parallel).
+	Ingest(xs []int64)
+	// Verdict returns the exact global discrepancy of the union stream
+	// against the union sample.
+	Verdict() setsystem.Discrepancy
+	// SampleView returns the union sample as a transient read-only view.
+	SampleView() []int64
+	// Sample returns a copy of the union sample.
+	Sample() []int64
+}
+
+// RunSharded plays one continuous adaptive game against a sharded engine:
+// the adversary submits one stream, the engine routes it across shards, and
+// the exact global epsilon-approximation error (union stream vs union
+// sample) is evaluated at each checkpoint, exactly as RunContinuous does for
+// a single sampler. The engine and the adversary receive independent RNG
+// streams derived from r in that order, mirroring the unsharded games.
+//
+// The adversary's Observation carries the coordinator's view: Sample is the
+// union of the per-shard samples and LastAdmitted reports whether the
+// previous element entered ANY shard's sample. (Attacks that need per-shard
+// admission feedback — the distributed bisection arm — drive the engine
+// directly; see internal/shard.RunTargetedBisection.)
+//
+// When the adversary is a StreamGenerator, the rounds between checkpoints
+// collapse into chunked bulk ingest (Engine.Ingest in SpanChunkCap-sized
+// chunks), letting shards ingest in parallel; verdicts and trajectories are
+// unchanged because routing and sampling are chunking-invariant.
+func RunSharded(e ShardedEngine, adv Adversary, n int, eps float64, checkpoints []int, r *rng.RNG) ContinuousResult {
+	if n < 1 {
+		panic("game: stream length must be >= 1")
+	}
+	adv.Reset()
+	e.StartGame(r)
+	advRNG := r.Split()
+
+	cps := normalizeCheckpoints(checkpoints, n)
+
+	var prefixErrs []PrefixError
+	maxErr := 0.0
+	firstViolation := 0
+	var final setsystem.Discrepancy
+	checkpoint := func(round int) {
+		d := e.Verdict()
+		prefixErrs = append(prefixErrs, PrefixError{Round: round, Err: d.Err})
+		if d.Err > maxErr {
+			maxErr = d.Err
+		}
+		if d.Err > eps && firstViolation == 0 {
+			firstViolation = round
+		}
+		final = d // round n is always the last checkpoint
+	}
+
+	var stream []int64
+	if gen, ok := adv.(StreamGenerator); ok {
+		stream = generateStream(gen, n, advRNG)
+		played := 0
+		for _, cp := range cps {
+			for played < cp {
+				j := min(played+spanChunk(), cp)
+				e.Ingest(stream[played:j])
+				played = j
+			}
+			checkpoint(cp)
+		}
+	} else {
+		stream = make([]int64, 0, n)
+		lastAdmitted := false
+		next := 0 // cursor into cps; cps is sorted so one comparison per round
+		for i := 1; i <= n; i++ {
+			obs := Observation{
+				Round:        i,
+				N:            n,
+				Sample:       e.SampleView(),
+				LastAdmitted: lastAdmitted,
+				History:      stream,
+			}
+			x := adv.Next(obs, advRNG)
+			stream = append(stream, x)
+			_, lastAdmitted = e.Offer(x)
+			if next < len(cps) && cps[next] == i {
+				next++
+				checkpoint(i)
+			}
+		}
+	}
+
+	return ContinuousResult{
+		Result: Result{
+			Stream:      stream,
+			Sample:      e.Sample(),
+			Discrepancy: final,
+			Eps:         eps,
+			OK:          firstViolation == 0,
+		},
+		PrefixErrors:   prefixErrs,
+		MaxPrefixErr:   maxErr,
+		FirstViolation: firstViolation,
+	}
+}

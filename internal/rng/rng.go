@@ -63,6 +63,12 @@ func splitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix64 applies one SplitMix64 step to x: a full-avalanche bijection for
+// dispersing structured values deterministically (seed decorrelation here,
+// hash-by-value shard routing in internal/shard). It draws no state from
+// any generator.
+func Mix64(x uint64) uint64 { return splitmix(x) }
+
 // next advances the 128-bit LCG state and returns the previous state
 // passed through the XSL-RR output permutation. The 128-bit multiply and
 // add lower to single MULX/ADCX-style instructions via math/bits.

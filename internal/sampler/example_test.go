@@ -1,0 +1,38 @@
+package sampler_test
+
+import (
+	"fmt"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/sampler"
+)
+
+// Two sites each hold a uniform sample of their local substream; the
+// coordinator combines them into a uniform sample of the union without ever
+// seeing the raw streams — the [CTW16]/[CMYZ12] primitive behind the
+// sharded engine's GlobalSample.
+func ExampleMergeSamples() {
+	r := rng.New(1)
+
+	// Site A saw 1000 elements and sampled 4 of them; site B saw 3000
+	// and sampled 4. A merged element should come from B three times as
+	// often as from A.
+	siteA := []string{"a1", "a2", "a3", "a4"}
+	siteB := []string{"b1", "b2", "b3", "b4"}
+	merged := sampler.MergeSamples(siteA, 1000, siteB, 3000, 4, r)
+	fmt.Println("merged size:", len(merged))
+
+	fromB := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		for _, v := range sampler.MergeSamples(siteA, 1000, siteB, 3000, 1, r) {
+			if v[0] == 'b' {
+				fromB++
+			}
+		}
+	}
+	fmt.Printf("fraction from B: %.2f (want 0.75)\n", float64(fromB)/trials)
+	// Output:
+	// merged size: 4
+	// fraction from B: 0.75 (want 0.75)
+}

@@ -166,3 +166,97 @@ func BenchmarkMergeReservoirs(b *testing.B) {
 		MergeReservoirs(ra, rb, 500, r)
 	}
 }
+
+func TestMergeSamplesKZero(t *testing.T) {
+	r := rng.New(8)
+	out := MergeSamples([]int{1, 2}, 5, []int{3}, 4, 0, r)
+	if len(out) != 0 {
+		t.Fatalf("k=0 should yield an empty sample, got %v", out)
+	}
+	if out == nil {
+		t.Fatal("k=0 should yield an empty non-nil sample")
+	}
+}
+
+func TestMergeSamplesOneSideEmpty(t *testing.T) {
+	// An empty side with a zero population contributes nothing; the merge
+	// must reduce to a uniform subsample of the other side.
+	root := rng.New(9)
+	const trials = 20000
+	counts := make([]int, 4)
+	a := []int{0, 1, 2, 3}
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		out := MergeSamples(a, 4, nil, 0, 2, r)
+		if len(out) != 2 {
+			t.Fatalf("size %d, want 2", len(out))
+		}
+		if out[0] == out[1] {
+			t.Fatalf("duplicate element %d", out[0])
+		}
+		for _, v := range out {
+			counts[v]++
+		}
+	}
+	want := float64(trials) / 2
+	sd := math.Sqrt(want / 2)
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Fatalf("element %d included %d times, want ~%v", v, c, want)
+		}
+	}
+	// Symmetric: empty side first.
+	out := MergeSamples(nil, 0, a, 4, 3, rng.New(10))
+	if len(out) != 3 {
+		t.Fatalf("size %d, want 3", len(out))
+	}
+}
+
+func TestMergeSamplesKEqualsUnionSize(t *testing.T) {
+	// k equal to the full union: every sampled element must appear
+	// exactly once, regardless of the interleaving order.
+	r := rng.New(11)
+	a := []int{1, 2, 3}
+	b := []int{4, 5, 6, 7}
+	out := MergeSamples(a, 3, b, 4, 7, r)
+	if len(out) != 7 {
+		t.Fatalf("size %d, want 7", len(out))
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("element %d drawn twice", v)
+		}
+		seen[v] = true
+	}
+	for v := 1; v <= 7; v++ {
+		if !seen[v] {
+			t.Fatalf("element %d missing from full-union merge", v)
+		}
+	}
+}
+
+func TestMergeSamplesPopulationEqualsSample(t *testing.T) {
+	// Fully-observed populations (nA == len(sampleA), nB == len(sampleB)):
+	// the merge is then an exact uniform k-subset of the union, so each
+	// element's inclusion probability is k / (nA + nB) even when the sides
+	// are unbalanced.
+	root := rng.New(12)
+	const trials = 30000
+	a := []int{0, 1, 2, 3, 4, 5}
+	b := []int{6, 7}
+	counts := make([]int, 8)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		for _, v := range MergeSamples(a, 6, b, 2, 4, r) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) / 2 // k/(nA+nB) = 4/8
+	sd := math.Sqrt(want / 2)
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Fatalf("element %d included %d times, want ~%v", v, c, want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Mergeable verdicts.
+//
+// The sharded continuous-sampling engine (internal/shard) keeps one
+// Accumulator per shard, fed only with that shard's substream and local
+// sample. A global checkpoint verdict needs the discrepancy of the UNION
+// stream against the UNION sample — and because every set system's verdict
+// is a pure function of the two multisets (insertion order never matters),
+// the union verdict can be computed by folding the per-shard histograms into
+// one engine, without re-ingesting any raw stream. MergeFrom is that fold:
+// O(distinct values) per source accumulator instead of O(stream length), so
+// a coordinator's verdict cost is independent of how much traffic the shards
+// have absorbed since the last checkpoint.
+package setsystem
+
+// MergeFrom folds other's stream and sample multisets into a: afterwards a
+// holds the multiset unions, exactly as if every element ever added to other
+// had been added to a directly. Max on the merged accumulator is therefore
+// bit-identical (error AND witness) to MaxDiscrepancy on the concatenated
+// streams and samples. other is not modified, and may have pending updates
+// (a Max call on it is not required first).
+//
+// Both accumulators must come from the same set system (mode and universe);
+// MergeFrom panics otherwise, and on a nil or aliased source.
+func (a *Accumulator) MergeFrom(other *Accumulator) {
+	if other == nil || other == a {
+		panic("setsystem: MergeFrom needs a distinct non-nil source")
+	}
+	if a.mode != other.mode || a.universe != other.universe {
+		panic("setsystem: MergeFrom across different set systems")
+	}
+	for i, v := range other.vals {
+		cx, cs := other.cx[i], other.cs[i]
+		if cx == 0 && cs == 0 {
+			// A slot whose sample copies were all evicted and that holds
+			// no stream mass contributes nothing to any verdict.
+			continue
+		}
+		s := a.slot(v)
+		a.cx[s] += cx
+		a.cs[s] += cs
+		if b := a.blockOf[s]; b != nil {
+			b.sumCx += cx
+			b.sumCs += cs
+			if cx > 0 && a.cx[s] == cx {
+				// The slot's stream count was zero before this merge.
+				b.nzCx++
+			}
+			if a.cx[s] > b.maxCx {
+				b.maxCx = a.cx[s]
+			}
+			b.touched = true
+			b.hullValid = false
+		}
+	}
+	a.nx += other.nx
+	a.ns += other.ns
+}
