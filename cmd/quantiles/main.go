@@ -1,8 +1,8 @@
 // Command quantiles reads integers (one per line) from stdin and prints
 // quantile estimates from three sketches side by side: the paper's robust
-// reservoir sample (Corollary 1.5), the deterministic Greenwald-Khanna
-// summary, and the randomized KLL sketch — together with exact values and
-// rank errors.
+// quantile sketch through the public robustsample/quantile surface
+// (Corollary 1.5), the deterministic Greenwald-Khanna summary, and the
+// randomized KLL sketch — together with exact values and rank errors.
 //
 // Usage:
 //
@@ -16,11 +16,10 @@ import (
 	"os"
 	"strconv"
 
-	"math"
-
-	"robustsample/internal/core"
-	"robustsample/internal/quantile"
+	iq "robustsample/internal/quantile"
 	"robustsample/internal/rng"
+	"robustsample/quantile"
+	"robustsample/sketch"
 )
 
 func main() {
@@ -32,17 +31,25 @@ func main() {
 	)
 	flag.Parse()
 
-	r := rng.New(*seed)
-	// Size the reservoir lazily once n is known would be ideal; the
-	// paper's formulas need n only for Bernoulli. Reservoir size is
-	// n-independent, so we can build it immediately.
-	k := core.ReservoirSize(core.Params{Eps: *eps, Delta: *delta, N: 1 << 62}, logOf(*universe))
-	sketches := []quantile.Sketch{
-		quantile.NewReservoirSketch(k, r.Split()),
-		quantile.NewGK(*eps),
-		quantile.NewKLL(max(4, 10*int(1.0 / *eps)), r.Split()),
+	u, err := sketch.NewInt64Range(1, *universe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+		os.Exit(2)
 	}
-	exact := quantile.NewExact()
+	// Reservoir size is n-independent in the paper's formula, so an
+	// upper-bound stream length sizes the sketch before reading input.
+	robust, err := quantile.New(u, *eps, *delta, 1<<62, sketch.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+		os.Exit(2)
+	}
+
+	r := rng.New(*seed ^ 0x9e3779b97f4a7c15)
+	baselines := []iq.Sketch{
+		iq.NewGK(*eps),
+		iq.NewKLL(max(4, 10*int(1.0 / *eps)), r.Split()),
+	}
+	exact := iq.NewExact()
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -57,8 +64,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quantiles: skipping %q: %v\n", line, err)
 			continue
 		}
+		if _, err := robust.Offer(v); err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: skipping %d: %v\n", v, err)
+			continue
+		}
 		exact.Insert(v)
-		for _, s := range sketches {
+		for _, s := range baselines {
 			s.Insert(v)
 		}
 		n++
@@ -72,16 +83,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("n=%d  robust reservoir k=%d (Cor 1.5, |U|=%d)\n\n", n, k, *universe)
-	fmt.Printf("%-10s %12s", "quantile", "exact")
-	for _, s := range sketches {
+	fmt.Printf("n=%d  robust reservoir k=%d (Cor 1.5, |U|=%d)\n\n", n, robust.K(), *universe)
+	fmt.Printf("%-10s %12s %18s", "quantile", "exact", "robust-sample")
+	for _, s := range baselines {
 		fmt.Printf(" %18s", s.Name())
 	}
 	fmt.Println()
 	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
 		ev := exact.Quantile(q)
 		fmt.Printf("%-10.2f %12d", q, ev)
-		for _, s := range sketches {
+		rv, err := robust.Quantile(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf(" %12d(%+.3f)", rv, (exact.Rank(rv)-q*float64(n))/float64(n))
+		for _, s := range baselines {
 			got := s.Quantile(q)
 			// Displacement of the returned value's true rank from q*n.
 			rankErr := (exact.Rank(got) - q*float64(n)) / float64(n)
@@ -89,16 +106,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nspace: exact=%d", exact.Size())
-	for _, s := range sketches {
+	fmt.Printf("\nspace: exact=%d  robust-sample=%d", exact.Size(), robust.Len())
+	for _, s := range baselines {
 		fmt.Printf("  %s=%d", s.Name(), s.Size())
 	}
 	fmt.Println()
-}
-
-func logOf(u int64) float64 {
-	if u < 2 {
-		return 0
-	}
-	return math.Log(float64(u))
 }

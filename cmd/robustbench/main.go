@@ -34,16 +34,17 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		exp     = flag.String("exp", "", "run a single experiment by ID (E1..E17)")
-		fig     = flag.String("fig", "", "render a figure by ID (F1, F2)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		seed    = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
-		trials  = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
-		scale   = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
-		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
-		chunk   = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
-		shards  = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "run a single experiment by ID (E1..E18)")
+		fig      = flag.String("fig", "", "render a figure by ID (F1, F2)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
+		trials   = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
+		scale    = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
+		workers  = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
+		chunk    = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
+		shards   = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
+		jsonPath = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		f.Render(cfg).Render(os.Stdout)
 	case *all:
 		bench.RunAll(cfg, os.Stdout)
+		emitJSON(*jsonPath, cfg, bench.All(), *chunk)
 	case *exp != "":
 		e, ok := bench.ByID(*exp)
 		if !ok {
@@ -76,8 +78,33 @@ func main() {
 			os.Exit(2)
 		}
 		e.Run(cfg).Render(os.Stdout)
+		emitJSON(*jsonPath, cfg, []bench.Experiment{e}, *chunk)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// emitJSON measures the selected experiments once more under cfg and
+// writes the machine-readable results to path; the perf trajectory files
+// (BENCH_*.json) are produced this way. A no-op when path is empty.
+func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int) {
+	if path == "" {
+		return
+	}
+	results := bench.Measure(cfg, exps, chunk)
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteJSON(out, results); err != nil {
+		fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,51 +1,101 @@
-// Distributed: the Section 1.2 distributed-database illustration.
+// Distributed: continuous sharded sampling with coordinator queries,
+// through the public robustsample/shard surface (Section 1.3; [CTW16],
+// [CMYZ12]).
 //
-// Queries are load-balanced uniformly across K servers, so each server sees
-// a Bernoulli(1/K) sample of the workload. Is that sample representative —
-// even when the workload drifts, or when an adaptive client deliberately
-// tries to skew what one server sees?
-//
-// The example measures each server's Kolmogorov-Smirnov distance from the
-// full stream under four workloads and compares against the Theorem 1.2
-// prediction. The punchline: the only workload that breaks a server needs
-// query precision beyond any bounded universe — with realistic
-// (hash-discretized) queries, Theorem 1.2 caps the damage.
+// One stream is routed across S shards; each shard keeps its own robust
+// sampler and discrepancy histogram. The coordinator answers global
+// questions from per-shard state alone: the merged Verdict is bit-identical
+// to a one-shot check of the union stream, and GlobalSample draws a
+// uniform sample of the union from the per-shard samples. The engine
+// checkpoint (Snapshot/Restore) migrates the whole deployment — every
+// shard's sampler, histogram and RNG stream — between processes.
 //
 // Run: go run ./examples/distributed
 package main
 
 import (
 	"fmt"
-	"math"
 
-	"robustsample/internal/distsim"
 	"robustsample/internal/rng"
+	"robustsample/shard"
+	"robustsample/sketch"
 )
 
 func main() {
 	const (
-		k        = 8
+		shards   = 8
 		n        = 40000
 		universe = int64(1) << 20
 	)
-	predicted := distsim.PredictedEps(k, n, math.Log(float64(universe)), 0.1)
-	fmt.Printf("K=%d servers, n=%d queries, universe=2^20\n", k, n)
-	fmt.Printf("Theorem 1.2 prediction (p=1/K): per-server KS <= %.4f whp\n\n", predicted)
+	u, err := sketch.NewInt64Universe(universe)
+	if err != nil {
+		panic(err)
+	}
+	engine, err := shard.New(u,
+		shard.WithShards(shards),
+		shard.WithRouter(shard.RouterUniform),
+		shard.WithSystem(shard.Prefixes),
+		shard.WithReservoir(1024),
+		shard.WithSeed(3),
+	)
+	if err != nil {
+		panic(err)
+	}
 
-	root := rng.New(3)
-	runs := []struct {
-		name string
-		out  distsim.Outcome
-	}{
-		{"uniform workload   ", distsim.RunUniform(k, n, universe, root.Split())},
-		{"drifting workload  ", distsim.RunDrift(k, n, universe, root.Split())},
-		{"adaptive, unbounded", distsim.RunAdaptiveAttack(k, n, root.Split())},
-		{"adaptive, bounded U", distsim.RunBoundedAdaptiveAttack(k, n, universe, root.Split())},
+	// A drifting workload: the value distribution shifts mid-stream.
+	r := rng.New(9)
+	stream := make([]int64, n)
+	for i := range stream {
+		if i < n/2 {
+			stream[i] = 1 + r.Int63n(universe/4)
+		} else {
+			stream[i] = universe/2 + r.Int63n(universe/2)
+		}
 	}
-	fmt.Printf("%-22s %-12s %-12s\n", "workload", "server0 KS", "max KS")
-	for _, r := range runs {
-		fmt.Printf("%-22s %-12.4f %-12.4f\n", r.name, r.out.TargetKS, r.out.MaxKS)
+	if err := engine.Ingest(stream[:n/2]); err != nil {
+		panic(err)
 	}
-	fmt.Printf("\nunbounded adaptive client approaches KS = 1 - 1/K = %.3f;\n", 1-1.0/k)
-	fmt.Println("bounded-universe rows stay within the Theorem 1.2 prediction.")
+
+	// Checkpoint mid-stream and continue in a "new process".
+	snap, err := engine.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	migrated, err := shard.New(u,
+		shard.WithShards(shards),
+		shard.WithRouter(shard.RouterUniform),
+		shard.WithSystem(shard.Prefixes),
+		shard.WithReservoir(1024),
+		shard.WithSeed(999), // every RNG stream comes from the snapshot
+	)
+	if err != nil {
+		panic(err)
+	}
+	if err := migrated.Restore(snap); err != nil {
+		panic(err)
+	}
+	if err := migrated.Ingest(stream[n/2:]); err != nil {
+		panic(err)
+	}
+
+	v, err := migrated.Verdict()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("S=%d shards, n=%d routed (checkpointed at %d: %d-byte snapshot)\n",
+		migrated.NumShards(), migrated.Rounds(), n/2, len(snap))
+	fmt.Printf("global KS error of union sample = %.4f (witness [%d, %d])\n", v.Err, v.Lo, v.Hi)
+	for i := 0; i < shards; i += 4 {
+		sv, err := migrated.ShardVerdict(i)
+		if err != nil {
+			panic(err)
+		}
+		rounds, _ := migrated.ShardRounds(i)
+		fmt.Printf("  shard %d: substream=%d local KS=%.4f\n", i, rounds, sv.Err)
+	}
+	global, err := migrated.GlobalSample(200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coordinator GlobalSample(200) -> %d elements of the union stream\n", len(global))
 }

@@ -1,12 +1,13 @@
-// Heavy hitters: Corollary 1.6 under an adaptive adversary.
+// Heavy hitters: Corollary 1.6 under an adaptive adversary, through the
+// public robustsample/topk surface.
 //
 // A robust-size reservoir sample solves (alpha, eps) heavy hitters in the
 // adversarial model: report every element whose sample density is at least
 // alpha - eps/3. This example runs many independent trials of an adaptive
 // workload — a Zipf background (which contains a genuine heavy hitter)
 // plus an inflation adversary that pushes a light target element whenever
-// the sample under-represents it — and compares the contract-violation
-// rate of a tiny sample against the Corollary 1.6 size.
+// the summary under-represents it — and compares the contract-violation
+// rate of a tiny summary against the Corollary 1.6 size.
 //
 // Run: go run ./examples/heavyhitters
 package main
@@ -14,9 +15,10 @@ package main
 import (
 	"fmt"
 
-	"robustsample/internal/core"
 	"robustsample/internal/heavyhitter"
 	"robustsample/internal/rng"
+	"robustsample/sketch"
+	"robustsample/topk"
 )
 
 func main() {
@@ -29,17 +31,26 @@ func main() {
 		target   = int64(7)
 		trials   = 40
 	)
-
-	robustK := core.HeavyHitterSize(eps, delta, n, universe)
+	u, err := sketch.NewInt64Universe(universe)
+	if err != nil {
+		panic(err)
+	}
+	robust, err := topk.New(u, eps, delta, n)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("Corollary 1.6 sample size: k = %d (alpha=%.2f eps=%.2f delta=%.2f)\n\n",
-		robustK, alpha, eps, delta)
+		robust.K(), alpha, eps, delta)
 
 	root := rng.New(11)
-	for _, k := range []int{20, robustK} {
+	for _, k := range []int{20, robust.K()} {
 		violations, fps, fns := 0, 0, 0
 		for trial := 0; trial < trials; trial++ {
 			r := root.Split()
-			summary := heavyhitter.NewSampleHH(k, eps, r.Split())
+			summary, err := topk.NewWithMemory(u, k, eps, sketch.WithSeed(r.Uint64()))
+			if err != nil {
+				panic(err)
+			}
 			z := rng.NewZipf(universe, 1.3) // value 1 has density ~0.25: a true heavy hitter
 			budget := int(float64(n) * (alpha - eps) * 0.8)
 			sent := 0
@@ -47,17 +58,26 @@ func main() {
 			for i := 0; i < n; i++ {
 				var x int64
 				// Adaptive inflation: push the light target whenever the
-				// sample under-represents it, within a light budget.
-				if sent < budget && summary.EstimateDensity(target) < alpha {
+				// summary under-represents it, within a light budget.
+				// (ErrEmpty can only occur before the first admission;
+				// the zero density is the right reading there.)
+				d, _ := summary.EstimateDensity(target)
+				if sent < budget && d < alpha {
 					x = target
 					sent++
 				} else {
 					x = z.Draw(r)
 				}
 				stream = append(stream, x)
-				summary.Insert(x)
+				if _, err := summary.Offer(x); err != nil {
+					panic(err)
+				}
 			}
-			ev := heavyhitter.Evaluate(stream, summary.Report(alpha), alpha, eps)
+			reported, err := summary.Report(alpha)
+			if err != nil {
+				panic(err)
+			}
+			ev := heavyhitter.Evaluate(stream, reported, alpha, eps)
 			if !ev.Correct() {
 				violations++
 			}

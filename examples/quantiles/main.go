@@ -1,10 +1,12 @@
-// Quantiles: Corollary 1.5 robust quantile estimation.
+// Quantiles: Corollary 1.5 robust quantile estimation through the public
+// robustsample/quantile surface.
 //
 // A reservoir sample of size k = 2 (ln|U| + ln(2/delta)) / eps^2 answers
 // every rank/quantile query within eps*n, simultaneously, with probability
 // 1-delta — even on adversarially chosen streams. This example compares
-// the robust sample against the deterministic Greenwald-Khanna summary and
-// the (static-optimal) KLL sketch on a heavy-tailed stream.
+// the robust sketch against the deterministic Greenwald-Khanna summary and
+// the (static-optimal) KLL sketch on a heavy-tailed stream, then merges
+// two per-site sketches into one for the union ([CTW16] fan-in).
 //
 // Run: go run ./examples/quantiles
 package main
@@ -12,9 +14,10 @@ package main
 import (
 	"fmt"
 
-	"robustsample/internal/core"
-	"robustsample/internal/quantile"
+	iq "robustsample/internal/quantile"
 	"robustsample/internal/rng"
+	"robustsample/quantile"
+	"robustsample/sketch"
 )
 
 func main() {
@@ -24,16 +27,22 @@ func main() {
 		eps      = 0.02
 		delta    = 0.05
 	)
-	k := core.QuantileSketchSize(core.Params{Eps: eps, Delta: delta, N: n}, universe)
-	fmt.Printf("Corollary 1.5 reservoir size k = %d (eps=%.2f delta=%.2f |U|=2^20)\n\n", k, eps, delta)
-
-	root := rng.New(5)
-	sketches := []quantile.Sketch{
-		quantile.NewReservoirSketch(k, root.Split()),
-		quantile.NewGK(eps),
-		quantile.NewKLL(500, root.Split()),
+	u, err := sketch.NewInt64Universe(universe)
+	if err != nil {
+		panic(err)
 	}
-	exact := quantile.NewExact()
+	robust, err := quantile.New(u, eps, delta, n, sketch.WithSeed(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Corollary 1.5 reservoir size k = %d (eps=%.2f delta=%.2f |U|=2^20)\n\n",
+		robust.K(), eps, delta)
+
+	// Baselines from the experiment harness (comparison points only).
+	root := rng.New(5)
+	gk := iq.NewGK(eps)
+	kll := iq.NewKLL(500, root.Split())
+	exact := iq.NewExact()
 
 	// Heavy-tailed workload: Zipf ranks mapped across the universe.
 	z := rng.NewZipf(1<<20, 1.1)
@@ -42,24 +51,50 @@ func main() {
 	for i := range stream {
 		stream[i] = z.Draw(r)
 		exact.Insert(stream[i])
-		for _, s := range sketches {
-			s.Insert(stream[i])
+		gk.Insert(stream[i])
+		kll.Insert(stream[i])
+		if _, err := robust.Offer(stream[i]); err != nil {
+			panic(err)
 		}
 	}
 
-	fmt.Printf("%-10s %10s %18s %18s %18s\n", "quantile", "exact", sketches[0].Name(), sketches[1].Name(), sketches[2].Name())
+	fmt.Printf("%-10s %10s %18s %18s %18s\n", "quantile", "exact", "robust-sample", gk.Name(), kll.Name())
 	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
 		fmt.Printf("%-10.2f %10d", q, exact.Quantile(q))
-		for _, s := range sketches {
+		rv, err := robust.Quantile(q)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf(" %12d(%+.3f)", rv, (exact.Rank(rv)-q*float64(n))/float64(n))
+		for _, s := range []iq.Sketch{gk, kll} {
 			v := s.Quantile(q)
-			displ := (exact.Rank(v) - q*float64(n)) / float64(n)
-			fmt.Printf(" %12d(%+.3f)", v, displ)
+			fmt.Printf(" %12d(%+.3f)", v, (exact.Rank(v)-q*float64(n))/float64(n))
 		}
 		fmt.Println()
 	}
 
-	fmt.Printf("\nall-quantiles max rank error (target eps=%.3f):\n", eps)
-	for _, s := range sketches {
-		fmt.Printf("  %-18s err=%.4f space=%d\n", s.Name(), quantile.MaxRankError(s, stream), s.Size())
+	// Mergeable: two half-stream sketches fold into one for the union.
+	a, err := quantile.New(u, eps, delta, n, sketch.WithSeed(6))
+	if err != nil {
+		panic(err)
 	}
+	b, err := quantile.New(u, eps, delta, n, sketch.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := a.OfferBatch(stream[:n/2]); err != nil {
+		panic(err)
+	}
+	if _, err := b.OfferBatch(stream[n/2:]); err != nil {
+		panic(err)
+	}
+	if err := a.MergeFrom(b); err != nil {
+		panic(err)
+	}
+	mv, err := a.Quantile(0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nmerged half-stream sketches: count=%d median=%d (rank error %+.3f)\n",
+		a.Count(), mv, (exact.Rank(mv)-0.5*float64(n))/float64(n))
 }

@@ -1,11 +1,12 @@
-// Quickstart: maintain an adversarially robust sample of a stream.
+// Quickstart: maintain an adversarially robust sample of a stream through
+// the public Sketch[T] surface.
 //
 // This example sizes a reservoir per Theorem 1.2 of "The Adversarial
-// Robustness of Sampling" (Ben-Eliezer & Yogev, PODS 2020), feeds it a
-// stream, and verifies the sample is an eps-approximation of the stream
-// with respect to all prefix ranges — the guarantee that would hold (with
-// probability 1-delta) even if every element had been chosen by an
-// adversary watching the sample.
+// Robustness of Sampling" (Ben-Eliezer & Yogev, PODS 2020) via
+// sketch.NewRobustReservoir, feeds it a stream, and verifies the sample is
+// an eps-approximation of the stream with respect to all prefix ranges —
+// the guarantee that would hold (with probability 1-delta) even if every
+// element had been chosen by an adversary watching the sample.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -14,20 +15,28 @@ import (
 	"fmt"
 
 	"robustsample"
+	"robustsample/sketch"
 )
 
 func main() {
 	const (
 		n        = 50000
 		universe = int64(1) << 20
+		eps      = 0.05
+		delta    = 0.01
 	)
-	params := robustsample.Params{Eps: 0.05, Delta: 0.01, N: n}
-	sys := robustsample.NewPrefixes(universe)
+	u, err := sketch.NewInt64Universe(universe)
+	if err != nil {
+		panic(err)
+	}
 
-	// Theorem 1.2: k = 2 (ln|R| + ln(2/delta)) / eps^2.
-	res := robustsample.NewRobustReservoir(params, sys)
-	fmt.Printf("robust reservoir size k = %d (Theorem 1.2, ln|R| = %.1f)\n",
-		res.K, sys.LogCardinality())
+	// Theorem 1.2: k = 2 (ln|U| + ln(2/delta)) / eps^2. Constructors
+	// return errors instead of panicking; the sketch owns its RNG.
+	res, err := sketch.NewRobustReservoir(u, eps, delta, n, sketch.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("robust reservoir size k = %d (Theorem 1.2)\n", res.K())
 
 	// Feed a stream. Here it is a skewed static workload; the guarantee
 	// would be the same against any adaptive choice.
@@ -40,16 +49,28 @@ func main() {
 		} else {
 			stream[i] = universe/2 + r.Int63n(universe/2)
 		}
-		res.Offer(stream[i], r)
+	}
+	if _, err := res.OfferBatch(stream); err != nil {
+		panic(err)
 	}
 
-	d := sys.MaxDiscrepancy(stream, res.View())
+	// Exact verdict via the facade's set system against the encoded view
+	// (the identity universe encodes values as themselves).
+	sys := robustsample.NewPrefixes(universe)
+	d := sys.MaxDiscrepancy(stream, res.EncodedView())
 	fmt.Printf("sample size |S| = %d\n", res.Len())
-	fmt.Printf("exact approximation error = %.4f (target eps = %.2f)\n", d.Err, params.Eps)
+	fmt.Printf("exact approximation error = %.4f (target eps = %.2f)\n", d.Err, eps)
 	fmt.Printf("worst range = [%d, %d]\n", d.Lo, d.Hi)
-	if robustsample.IsEpsApproximation(sys, stream, res.View(), params.Eps) {
+	if d.Err <= eps {
 		fmt.Println("sample IS an eps-approximation of the stream ✓")
 	} else {
 		fmt.Println("sample is NOT an eps-approximation (probability <= delta)")
 	}
+
+	// The sketch is serializable: checkpoint and resume bit-identically.
+	snap, err := res.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshot: %d bytes (Restore resumes bit-identically)\n", len(snap))
 }

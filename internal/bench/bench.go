@@ -82,6 +82,15 @@ func (c Config) forEachTrial(root *rng.RNG, fn func(trial int, r *rng.RNG)) {
 	})
 }
 
+// must unwraps constructor (value, error) pairs whose parameters are
+// statically valid in experiment code; validation errors there are bugs.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // countTrue returns the number of set flags; trial loops record per-trial
 // outcomes in indexed slices and reduce with it after the parallel fan-out.
 func countTrue(flags []bool) int {

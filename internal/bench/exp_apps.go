@@ -137,10 +137,10 @@ func ExpE7(cfg Config) *Table {
 		mk    func(r *rng.RNG) heavyhitter.Summary
 	}
 	cases := []summaryCase{
-		{"sample-robust", robustK, func(r *rng.RNG) heavyhitter.Summary { return heavyhitter.NewSampleHH(robustK, eps, r) }},
-		{"sample-tiny", smallK, func(r *rng.RNG) heavyhitter.Summary { return heavyhitter.NewSampleHH(smallK, eps, r) }},
-		{"misra-gries", m, func(*rng.RNG) heavyhitter.Summary { return heavyhitter.NewMisraGries(m) }},
-		{"space-saving", m, func(*rng.RNG) heavyhitter.Summary { return heavyhitter.NewSpaceSaving(m) }},
+		{"sample-robust", robustK, func(r *rng.RNG) heavyhitter.Summary { return must(heavyhitter.NewSampleHH(robustK, eps, r)) }},
+		{"sample-tiny", smallK, func(r *rng.RNG) heavyhitter.Summary { return must(heavyhitter.NewSampleHH(smallK, eps, r)) }},
+		{"misra-gries", m, func(*rng.RNG) heavyhitter.Summary { return must(heavyhitter.NewMisraGries(m)) }},
+		{"space-saving", m, func(*rng.RNG) heavyhitter.Summary { return must(heavyhitter.NewSpaceSaving(m)) }},
 	}
 	workloads := []string{"static-zipf", "adaptive-inflation"}
 
@@ -390,7 +390,7 @@ func ExpE14(cfg Config) *Table {
 		detErrs := make([]float64, cfg.trials())
 		detSpaces := make([]int, cfg.trials())
 		cfg.forEachTrial(root, func(trial int, r *rng.RNG) {
-			m := detsamp.NewForEps(eps, n)
+			m := must(detsamp.NewForEps(eps, n))
 			stream := make([]int64, n)
 			for i := range stream {
 				stream[i] = 1 + r.Int63n(expUniverse)
@@ -510,7 +510,7 @@ func ExpE16(cfg Config) *Table {
 		// static/adaptive rows on their historical RNG stream.
 		contRoot := rng.New(cfg.Seed + 170 + uint64(heavyW))
 		sys := setsystem.NewPrefixes(expUniverse)
-		cps := game.Checkpoints(k, n, 0.25)
+		cps := game.MustCheckpoints(k, n, 0.25)
 		maxErrs := make([]float64, cfg.trials())
 		cfg.forEachTrial(contRoot, func(trial int, r *rng.RNG) {
 			ws := &weightedGameSampler{

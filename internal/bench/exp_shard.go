@@ -47,7 +47,7 @@ func ExpE18(cfg Config) *Table {
 	n := cfg.scaled(20000, 500)
 	eps, delta := 0.3, 0.1
 	kTotal := core.ContinuousReservoirSize(core.Params{Eps: eps, Delta: delta, N: n}, sys.LogCardinality())
-	cps := game.Checkpoints(1, n, eps/4)
+	cps := game.MustCheckpoints(1, n, eps/4)
 
 	// Continuous arm: fixed TOTAL memory split across S shards (floor
 	// division, so no S row ever exceeds the S=1 budget), showing what

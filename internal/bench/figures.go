@@ -58,7 +58,7 @@ func FigF1(cfg Config) *plot.Chart {
 	p := core.Params{Eps: eps, Delta: delta, N: n}
 
 	run := func(k int) plot.Series {
-		cps := game.Checkpoints(k, n, eps/8)
+		cps := game.MustCheckpoints(k, n, eps/8)
 		res := game.RunContinuous(
 			sampler.NewReservoir[int64](k),
 			adversary.NewStaticUniform(expUniverse),
@@ -105,7 +105,7 @@ func FigF2(cfg Config) *plot.Chart {
 	sys := setsystem.NewPrefixes(int64(n))
 	var s plot.Series
 	s.Name = "attack on reservoir k=10"
-	for _, cp := range game.Checkpoints(k, n, 0.1) {
+	for _, cp := range game.MustCheckpoints(k, n, 0.1) {
 		prefix := res.Stream[:cp]
 		var sample []int64
 		seen := make(map[int64]bool, cp)

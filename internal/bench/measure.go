@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchParams records the configuration a measurement ran under, so a
+// BENCH_*.json file is self-describing and two files are comparable only
+// when their parameters match.
+type BenchParams struct {
+	Seed    uint64  `json:"seed"`
+	Trials  int     `json:"trials"`
+	Scale   float64 `json:"scale"`
+	Workers int     `json:"workers"`
+	Shards  int     `json:"shards,omitempty"`
+	Chunk   int     `json:"chunk,omitempty"`
+}
+
+// BenchResult is one machine-readable measurement: a full experiment run
+// treated as one op. NsPerOp is wall-clock; AllocsPerOp counts heap
+// allocations (runtime mallocs) during the run. Together with the params
+// block this is what the repository's perf trajectory (BENCH_*.json)
+// records per PR.
+type BenchResult struct {
+	Name        string      `json:"name"`
+	NsPerOp     int64       `json:"ns_per_op"`
+	AllocsPerOp uint64      `json:"allocs_per_op"`
+	BytesPerOp  uint64      `json:"bytes_per_op"`
+	Params      BenchParams `json:"params"`
+}
+
+// Measure runs each experiment once under cfg and returns timing and
+// allocation measurements. The experiments themselves are deterministic
+// functions of cfg; only the ns_per_op field varies run to run.
+func Measure(cfg Config, exps []Experiment, chunk int) []BenchResult {
+	params := BenchParams{
+		Seed:    cfg.Seed,
+		Trials:  cfg.trials(),
+		Scale:   cfg.Scale,
+		Workers: cfg.Workers,
+		Shards:  cfg.Shards,
+		Chunk:   chunk,
+	}
+	results := make([]BenchResult, 0, len(exps))
+	var before, after runtime.MemStats
+	for _, e := range exps {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		e.Run(cfg)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		results = append(results, BenchResult{
+			Name:        e.ID,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+			Params:      params,
+		})
+	}
+	return results
+}
+
+// WriteJSON renders measurements as indented JSON (one array, stable field
+// order) suitable for committing as BENCH_*.json.
+func WriteJSON(w io.Writer, results []BenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -336,7 +336,7 @@ func EstimateContinuousRobustnessWorkers(mkSampler SamplerFactory, mkAdv Adversa
 	if trials < 1 {
 		panic("core: trials must be >= 1")
 	}
-	checkpoints := game.Checkpoints(start, p.N, p.Eps/4)
+	checkpoints := game.MustCheckpoints(start, p.N, p.Eps/4)
 	rngs := make([]*rng.RNG, trials)
 	for i := range rngs {
 		rngs[i] = root.Split()

@@ -21,6 +21,7 @@ package detsamp
 
 import (
 	"cmp"
+	"errors"
 	"math"
 	"slices"
 )
@@ -44,27 +45,39 @@ type MergeReduce struct {
 	n      int
 }
 
+// Sentinel errors for constructor parameter validation; internal invariant
+// violations (e.g. querying an empty summary) still panic.
+var (
+	// ErrBadBuffer reports a buffer size below 2.
+	ErrBadBuffer = errors.New("detsamp: buffer size must be >= 2")
+	// ErrBadEps reports an error parameter outside (0, 1).
+	ErrBadEps = errors.New("detsamp: eps must be in (0, 1)")
+	// ErrBadHint reports a non-positive stream-length hint.
+	ErrBadHint = errors.New("detsamp: stream-length hint must be >= 1")
+)
+
 // New returns a merge-reduce summary with buffer size b (rounded up to
-// even). It panics unless b >= 2.
-func New(b int) *MergeReduce {
+// even). It reports ErrBadBuffer unless b >= 2.
+func New(b int) (*MergeReduce, error) {
 	if b < 2 {
-		panic("detsamp: buffer size must be >= 2")
+		return nil, ErrBadBuffer
 	}
 	if b%2 == 1 {
 		b++
 	}
-	return &MergeReduce{B: b}
+	return &MergeReduce{B: b}, nil
 }
 
 // NewForEps returns a summary sized so that the rank error is at most eps*n
 // for streams up to length nHint: B = 2 * ceil(L / (2*eps)) with
-// L = ceil(log2(nHint)) + 1 levels.
-func NewForEps(eps float64, nHint int) *MergeReduce {
+// L = ceil(log2(nHint)) + 1 levels. It reports ErrBadEps or ErrBadHint on
+// invalid parameters.
+func NewForEps(eps float64, nHint int) (*MergeReduce, error) {
 	if eps <= 0 || eps >= 1 {
-		panic("detsamp: need 0 < eps < 1")
+		return nil, ErrBadEps
 	}
 	if nHint < 1 {
-		panic("detsamp: need nHint >= 1")
+		return nil, ErrBadHint
 	}
 	levels := math.Ceil(math.Log2(math.Max(float64(nHint), 2))) + 1
 	b := int(math.Ceil(levels / (2 * eps)))

@@ -1,6 +1,7 @@
 package detsamp
 
 import (
+	"errors"
 	"math"
 	"slices"
 	"sort"
@@ -9,27 +10,43 @@ import (
 	"robustsample/internal/rng"
 )
 
-func TestValidation(t *testing.T) {
-	for _, f := range []func(){
-		func() { New(1) },
-		func() { NewForEps(0, 10) },
-		func() { NewForEps(1, 10) },
-		func() { NewForEps(0.1, 0) },
-		func() { New(4).Quantile(0.5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+// mustNew unwraps a constructor result whose parameters are valid by
+// construction in these tests.
+func mustNew[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
 	}
+	return v
 }
 
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{second(New(1)), ErrBadBuffer},
+		{second(NewForEps(0, 10)), ErrBadEps},
+		{second(NewForEps(1, 10)), ErrBadEps},
+		{second(NewForEps(0.1, 0)), ErrBadHint},
+	}
+	for i, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Fatalf("case %d: err = %v, want %v", i, c.err, c.want)
+		}
+	}
+	// Querying an empty summary remains an invariant panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty Quantile")
+		}
+	}()
+	mustNew(New(4)).Quantile(0.5)
+}
+
+func second[T any](_ T, err error) error { return err }
+
 func TestOddBufferRoundedUp(t *testing.T) {
-	m := New(3)
+	m := mustNew(New(3))
 	if m.B != 4 {
 		t.Fatalf("B = %d, want 4", m.B)
 	}
@@ -37,7 +54,7 @@ func TestOddBufferRoundedUp(t *testing.T) {
 
 func TestWeightConservation(t *testing.T) {
 	r := rng.New(1)
-	m := New(16)
+	m := mustNew(New(16))
 	const n = 12345
 	for i := 0; i < n; i++ {
 		m.Insert(r.Int63n(1 << 20))
@@ -56,7 +73,7 @@ func TestWeightConservation(t *testing.T) {
 
 func TestSpaceLogarithmic(t *testing.T) {
 	r := rng.New(2)
-	m := New(64)
+	m := mustNew(New(64))
 	const n = 200000
 	for i := 0; i < n; i++ {
 		m.Insert(r.Int63n(1 << 30))
@@ -70,7 +87,7 @@ func TestSpaceLogarithmic(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	mk := func() []WeightedValue {
-		m := New(8)
+		m := mustNew(New(8))
 		for i := 0; i < 1000; i++ {
 			m.Insert(int64(i*7919%1000 + 1))
 		}
@@ -91,7 +108,7 @@ func TestErrorWithinBoundRandomOrder(t *testing.T) {
 	r := rng.New(3)
 	eps := 0.05
 	const n = 50000
-	m := NewForEps(eps, n)
+	m := mustNew(NewForEps(eps, n))
 	stream := make([]int64, n)
 	for i := range stream {
 		stream[i] = 1 + r.Int63n(1<<20)
@@ -107,7 +124,7 @@ func TestErrorWithinBoundSortedOrder(t *testing.T) {
 	eps := 0.05
 	const n = 50000
 	for _, dir := range []string{"asc", "desc"} {
-		m := NewForEps(eps, n)
+		m := mustNew(NewForEps(eps, n))
 		stream := make([]int64, n)
 		for i := range stream {
 			if dir == "asc" {
@@ -130,7 +147,7 @@ func TestErrorWithinBoundAdversarialPermutation(t *testing.T) {
 	eps := 0.05
 	const bits = 15
 	const n = 1 << bits
-	m := NewForEps(eps, n)
+	m := mustNew(NewForEps(eps, n))
 	stream := make([]int64, 0, n)
 	for i := 0; i < n; i++ {
 		rev := 0
@@ -150,7 +167,7 @@ func TestErrorWithinBoundAdversarialPermutation(t *testing.T) {
 }
 
 func TestErrorBoundFormula(t *testing.T) {
-	m := New(32)
+	m := mustNew(New(32))
 	for i := 0; i < 10000; i++ {
 		m.Insert(int64(i))
 	}
@@ -163,7 +180,7 @@ func TestErrorBoundFormula(t *testing.T) {
 func TestQuantileAccuracy(t *testing.T) {
 	r := rng.New(4)
 	const n = 30000
-	m := NewForEps(0.02, n)
+	m := mustNew(NewForEps(0.02, n))
 	stream := make([]int64, n)
 	for i := range stream {
 		stream[i] = r.Int63n(1 << 20)
@@ -182,7 +199,7 @@ func TestQuantileAccuracy(t *testing.T) {
 }
 
 func TestRankMatchesWeightedValues(t *testing.T) {
-	m := New(4)
+	m := mustNew(New(4))
 	for _, v := range []int64{5, 1, 9, 3} { // exactly one full buffer
 		m.Insert(v)
 	}
@@ -199,7 +216,7 @@ func TestRankMatchesWeightedValues(t *testing.T) {
 }
 
 func TestPartialBufferIncluded(t *testing.T) {
-	m := New(8)
+	m := mustNew(New(8))
 	m.Insert(42)
 	wvs := m.WeightedValues()
 	if len(wvs) != 1 || wvs[0].Value != 42 || wvs[0].Weight != 1 {
@@ -240,7 +257,7 @@ func TestReduceKeepsOddIndexed(t *testing.T) {
 
 func BenchmarkInsert(b *testing.B) {
 	r := rng.New(1)
-	m := NewForEps(0.01, 1<<20)
+	m := mustNew(NewForEps(0.01, 1<<20))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Insert(r.Int63n(1 << 30))
@@ -249,7 +266,7 @@ func BenchmarkInsert(b *testing.B) {
 
 func BenchmarkPrefixDiscrepancy(b *testing.B) {
 	r := rng.New(1)
-	m := NewForEps(0.01, 100000)
+	m := mustNew(NewForEps(0.01, 100000))
 	stream := make([]int64, 100000)
 	for i := range stream {
 		stream[i] = r.Int63n(1 << 20)

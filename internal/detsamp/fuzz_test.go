@@ -13,7 +13,10 @@ func FuzzMergeReduceBound(f *testing.F) {
 		if len(data) == 0 || len(data) > 1024 {
 			return
 		}
-		m := New(8)
+		m, newErr := New(8)
+		if newErr != nil {
+			t.Fatal(newErr)
+		}
 		stream := make([]int64, 0, len(data))
 		for _, b := range data {
 			v := int64(b) + 1

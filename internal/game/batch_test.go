@@ -42,7 +42,7 @@ func TestRunBatchedMatchesRoundLoop(t *testing.T) {
 func TestRunContinuousBatchedMatchesRoundLoop(t *testing.T) {
 	const n = 2000
 	for _, sys := range batchTestSystems() {
-		cps := Checkpoints(1, n, 0.2)
+		cps := MustCheckpoints(1, n, 0.2)
 		batched := RunContinuous(sampler.NewReservoir[int64](40), adversary.NewStaticUniform(1<<10), sys, n, 0.25, cps, rng.New(9))
 		plain := RunContinuous(&roundLoopSampler{inner: sampler.NewReservoir[int64](40)}, adversary.NewStaticUniform(1<<10), sys, n, 0.25, cps, rng.New(9))
 		if !reflect.DeepEqual(batched, plain) {
@@ -59,7 +59,7 @@ func TestRunContinuousChunkInvariance(t *testing.T) {
 	defer func(old int) { SpanChunkCap = old }(SpanChunkCap)
 	const n = 1500
 	sys := setsystem.NewIntervals(1 << 12)
-	cps := Checkpoints(1, n, 0.3)
+	cps := MustCheckpoints(1, n, 0.3)
 	samplers := map[string]func() Sampler{
 		"reservoir": func() Sampler { return sampler.NewReservoir[int64](30) },
 		"bernoulli": func() Sampler { return sampler.NewBernoulli[int64](0.05) },
@@ -109,7 +109,7 @@ func TestRunContinuousBatchedVerdictsMatchOneShot(t *testing.T) {
 	const n = 300
 	for _, sys := range batchTestSystems() {
 		rec := &batchRecorder{inner: sampler.NewReservoir[int64](15)}
-		res := RunContinuous(rec, adversary.NewStaticUniform(1<<10), sys, n, 0.3, Checkpoints(1, n, 0.25), rng.New(31))
+		res := RunContinuous(rec, adversary.NewStaticUniform(1<<10), sys, n, 0.3, MustCheckpoints(1, n, 0.25), rng.New(31))
 		if len(res.PrefixErrors) == 0 {
 			t.Fatalf("%s: no checkpoints evaluated", sys.Name())
 		}

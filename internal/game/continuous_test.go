@@ -67,7 +67,7 @@ func TestRunContinuousMatchesOneShotVerdicts(t *testing.T) {
 				s = rec
 			}
 			adv := &zigzag{universe: 1 << 10}
-			res := RunContinuous(s, adv, sys, n, 0.3, Checkpoints(1, n, 0.25), rng.New(99))
+			res := RunContinuous(s, adv, sys, n, 0.3, MustCheckpoints(1, n, 0.25), rng.New(99))
 
 			if len(res.PrefixErrors) == 0 {
 				t.Fatalf("%s/%s: no checkpoints evaluated", sys.Name(), mode)
@@ -95,7 +95,7 @@ func TestRunContinuousMatchesOneShotVerdicts(t *testing.T) {
 func TestRunContinuousDeltaMatchesFallback(t *testing.T) {
 	const n = 150
 	sys := setsystem.NewIntervals(1 << 10)
-	cps := Checkpoints(1, n, 0.1)
+	cps := MustCheckpoints(1, n, 0.1)
 
 	run := func(s Sampler) ContinuousResult {
 		return RunContinuous(s, &zigzag{universe: 1 << 10}, sys, n, 0.25, cps, rng.New(7))

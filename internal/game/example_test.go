@@ -25,7 +25,7 @@ func ExampleRunContinuous() {
 	// Theorem 1.4.
 	res := sampler.NewReservoir[int64](150)
 	adv := adversary.NewStaticUniform(universe)
-	cps := game.Checkpoints(1, n, 0.05)
+	cps := game.MustCheckpoints(1, n, 0.05)
 	out := game.RunContinuous(res, adv, sys, n, 0.25, cps, rng.New(42))
 
 	fmt.Println("rounds:", len(out.Stream))

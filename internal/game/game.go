@@ -17,6 +17,7 @@
 package game
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
@@ -224,11 +225,17 @@ type ContinuousResult struct {
 	FirstViolation int
 }
 
+// ErrBadGamma is the sentinel reported by Checkpoints for a non-positive
+// growth factor. It is surfaced at the public boundary; the deprecated
+// facade converts it back to the historical panic.
+var ErrBadGamma = errors.New("game: checkpoint gamma must be positive")
+
 // Checkpoints returns the geometric checkpoint schedule used in the proof of
 // Theorem 1.4: rounds start <= i_1 < i_2 < ... <= n with
 // i_{j+1} <= (1+gamma) i_j, always including start and n. With gamma = eps/4
 // this is the schedule the paper's proof uses; t = O(gamma^-1 ln n) points.
-func Checkpoints(start, n int, gamma float64) []int {
+// It reports ErrBadGamma unless gamma > 0.
+func Checkpoints(start, n int, gamma float64) ([]int, error) {
 	if start < 1 {
 		start = 1
 	}
@@ -236,7 +243,7 @@ func Checkpoints(start, n int, gamma float64) []int {
 		start = n
 	}
 	if gamma <= 0 {
-		panic("game: checkpoint gamma must be positive")
+		return nil, ErrBadGamma
 	}
 	points := []int{start}
 	cur := start
@@ -251,7 +258,17 @@ func Checkpoints(start, n int, gamma float64) []int {
 		points = append(points, next)
 		cur = next
 	}
-	return points
+	return points, nil
+}
+
+// MustCheckpoints is Checkpoints for callers with statically valid gamma
+// (experiment code, tests); it panics on ErrBadGamma.
+func MustCheckpoints(start, n int, gamma float64) []int {
+	cps, err := Checkpoints(start, n, gamma)
+	if err != nil {
+		panic(err)
+	}
+	return cps
 }
 
 // AllRounds returns the exhaustive schedule 1..n, the literal Figure 2

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"errors"
 	"testing"
 
 	"robustsample/internal/rng"
@@ -140,7 +141,7 @@ func TestRunPanicsOnBadN(t *testing.T) {
 }
 
 func TestCheckpointsSchedule(t *testing.T) {
-	pts := Checkpoints(10, 1000, 0.25)
+	pts := MustCheckpoints(10, 1000, 0.25)
 	if pts[0] != 10 {
 		t.Fatalf("first checkpoint %d, want 10", pts[0])
 	}
@@ -159,27 +160,30 @@ func TestCheckpointsSchedule(t *testing.T) {
 }
 
 func TestCheckpointsEdge(t *testing.T) {
-	pts := Checkpoints(5, 5, 0.5)
+	pts := MustCheckpoints(5, 5, 0.5)
 	if len(pts) != 1 || pts[0] != 5 {
 		t.Fatalf("degenerate schedule = %v", pts)
 	}
-	pts = Checkpoints(0, 3, 0.5)
+	pts = MustCheckpoints(0, 3, 0.5)
 	if pts[0] != 1 {
 		t.Fatalf("start clamped wrong: %v", pts)
 	}
-	pts = Checkpoints(9, 3, 0.5)
+	pts = MustCheckpoints(9, 3, 0.5)
 	if pts[0] != 3 {
 		t.Fatalf("start above n clamped wrong: %v", pts)
 	}
 }
 
-func TestCheckpointsPanics(t *testing.T) {
+func TestCheckpointsBadGamma(t *testing.T) {
+	if _, err := Checkpoints(1, 10, 0); !errors.Is(err, ErrBadGamma) {
+		t.Fatalf("Checkpoints(gamma=0) err = %v, want ErrBadGamma", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for gamma=0")
+			t.Fatal("expected MustCheckpoints panic for gamma=0")
 		}
 	}()
-	Checkpoints(1, 10, 0)
+	MustCheckpoints(1, 10, 0)
 }
 
 func TestAllRounds(t *testing.T) {

@@ -39,7 +39,7 @@ func TestRunShardedVerdictsMatchOneShot(t *testing.T) {
 	for _, router := range shard.Routers() {
 		eng := newShardedEngine(3, 20, 1, router, true)
 		n := 4000
-		cps := game.Checkpoints(1, n, 0.05)
+		cps := game.MustCheckpoints(1, n, 0.05)
 		res := game.RunSharded(eng, adversary.NewStaticUniform(shardedUniverse), n, 0.5, cps, rng.New(17))
 		if len(res.PrefixErrors) != len(cps) {
 			t.Fatalf("%s: %d checkpoint errors, want %d", router.Name(), len(res.PrefixErrors), len(cps))
@@ -76,7 +76,7 @@ func TestRunShardedByteIdenticalAcrossWorkersAndChunks(t *testing.T) {
 		eng := newShardedEngine(5, 15, workers, shard.Uniform{}, false)
 		n := 3000
 		return game.RunSharded(eng, adversary.NewStaticUniform(shardedUniverse), n, 0.5,
-			game.Checkpoints(1, n, 0.1), rng.New(23))
+			game.MustCheckpoints(1, n, 0.1), rng.New(23))
 	}
 	base := run(1, 8192)
 	for _, workers := range []int{0, 4} {
@@ -138,7 +138,7 @@ func TestRunShardedSingleShardDegenerate(t *testing.T) {
 	}, nil)
 	n := 2000
 	res := game.RunSharded(eng, adversary.NewStaticSorted(shardedUniverse), n, 0.5,
-		game.Checkpoints(1, n, 0.25), rng.New(3))
+		game.MustCheckpoints(1, n, 0.25), rng.New(3))
 	want := sys.MaxDiscrepancy(res.Stream, res.Sample)
 	if res.Discrepancy != want {
 		t.Fatalf("final discrepancy %+v, one-shot %+v", res.Discrepancy, want)

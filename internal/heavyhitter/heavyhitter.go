@@ -13,9 +13,24 @@
 package heavyhitter
 
 import (
+	"errors"
 	"slices"
 
 	"robustsample/internal/rng"
+)
+
+// Sentinel errors for constructor parameter validation. They are surfaced
+// (re-exported) at the public boundary by robustsample/topk; internal
+// invariant violations still panic.
+var (
+	// ErrBadMemory reports a counter/sample memory below 1.
+	ErrBadMemory = errors.New("heavyhitter: memory must be >= 1")
+	// ErrBadEps reports an error parameter outside (0, 1).
+	ErrBadEps = errors.New("heavyhitter: eps must be in (0, 1)")
+	// ErrNilRNG reports a missing random source.
+	ErrNilRNG = errors.New("heavyhitter: RNG must be non-nil")
+	// ErrBadThreshold reports inconsistent sticky-sampling parameters.
+	ErrBadThreshold = errors.New("heavyhitter: need 0 < eps < alpha <= 1 and 0 < delta < 1")
 )
 
 // Summary is a streaming heavy-hitters algorithm.
@@ -48,19 +63,19 @@ type SampleHH struct {
 }
 
 // NewSampleHH returns a reservoir-backed heavy-hitters summary with memory
-// k; pass k from core.HeavyHitterSize for adversarial robustness. It panics
-// unless k >= 1 and 0 < eps < 1.
-func NewSampleHH(k int, eps float64, r *rng.RNG) *SampleHH {
+// k; pass k from core.HeavyHitterSize for adversarial robustness. It
+// reports ErrBadMemory, ErrBadEps or ErrNilRNG on invalid parameters.
+func NewSampleHH(k int, eps float64, r *rng.RNG) (*SampleHH, error) {
 	if k < 1 {
-		panic("heavyhitter: need k >= 1")
+		return nil, ErrBadMemory
 	}
 	if eps <= 0 || eps >= 1 {
-		panic("heavyhitter: need 0 < eps < 1")
+		return nil, ErrBadEps
 	}
 	if r == nil {
-		panic("heavyhitter: need an RNG")
+		return nil, ErrNilRNG
 	}
-	return &SampleHH{Eps: eps, k: k, rng: r}
+	return &SampleHH{Eps: eps, k: k, rng: r}, nil
 }
 
 // Name implements Summary.
@@ -135,12 +150,13 @@ type MisraGries struct {
 	n        int
 }
 
-// NewMisraGries returns a summary with m counters. It panics unless m >= 1.
-func NewMisraGries(m int) *MisraGries {
+// NewMisraGries returns a summary with m counters. It reports ErrBadMemory
+// unless m >= 1.
+func NewMisraGries(m int) (*MisraGries, error) {
 	if m < 1 {
-		panic("heavyhitter: need m >= 1")
+		return nil, ErrBadMemory
 	}
-	return &MisraGries{M: m, counters: make(map[int64]int, m+1)}
+	return &MisraGries{M: m, counters: make(map[int64]int, m+1)}, nil
 }
 
 // Name implements Summary.
@@ -210,12 +226,13 @@ type SpaceSaving struct {
 	n      int
 }
 
-// NewSpaceSaving returns a summary with m counters. It panics unless m >= 1.
-func NewSpaceSaving(m int) *SpaceSaving {
+// NewSpaceSaving returns a summary with m counters. It reports ErrBadMemory
+// unless m >= 1.
+func NewSpaceSaving(m int) (*SpaceSaving, error) {
 	if m < 1 {
-		panic("heavyhitter: need m >= 1")
+		return nil, ErrBadMemory
 	}
-	return &SpaceSaving{M: m, counts: make(map[int64]int, m)}
+	return &SpaceSaving{M: m, counts: make(map[int64]int, m)}, nil
 }
 
 // Name implements Summary.

@@ -1,12 +1,22 @@
 package heavyhitter
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"robustsample/internal/rng"
 )
+
+// must unwraps a constructor result whose parameters are valid by
+// construction in these tests.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // zipfStream produces a skewed stream with known heavy elements.
 func zipfStream(n int, r *rng.RNG) []int64 {
@@ -39,7 +49,7 @@ func feed(s Summary, stream []int64) {
 func TestMisraGriesUndercountBound(t *testing.T) {
 	r := rng.New(1)
 	stream := zipfStream(50000, r)
-	mg := NewMisraGries(99)
+	mg := must(NewMisraGries(99))
 	feed(mg, stream)
 	slack := 1.0 / float64(mg.M+1)
 	for x, d := range trueDensities(stream) {
@@ -59,7 +69,7 @@ func TestMisraGriesUndercountBound(t *testing.T) {
 func TestSpaceSavingOvercountBound(t *testing.T) {
 	r := rng.New(2)
 	stream := zipfStream(50000, r)
-	ss := NewSpaceSaving(100)
+	ss := must(NewSpaceSaving(100))
 	feed(ss, stream)
 	slack := 1.0 / float64(ss.M)
 	dens := trueDensities(stream)
@@ -85,9 +95,9 @@ func TestAllSummariesSatisfyContractOnStaticStream(t *testing.T) {
 	stream := zipfStream(n, r)
 	m := int(math.Ceil(3/eps)) + 1
 	summaries := []Summary{
-		NewSampleHH(8000, eps, r.Split()),
-		NewMisraGries(m),
-		NewSpaceSaving(m),
+		must(NewSampleHH(8000, eps, r.Split())),
+		must(NewMisraGries(m)),
+		must(NewSpaceSaving(m)),
 	}
 	for _, s := range summaries {
 		feed(s, stream)
@@ -103,7 +113,7 @@ func TestAllSummariesSatisfyContractOnStaticStream(t *testing.T) {
 
 func TestSampleHHReportsObviousHeavy(t *testing.T) {
 	r := rng.New(4)
-	s := NewSampleHH(1000, 0.1, r.Split())
+	s := must(NewSampleHH(1000, 0.1, r.Split()))
 	const n = 20000
 	stream := make([]int64, n)
 	for i := range stream {
@@ -128,7 +138,7 @@ func TestSampleHHReportsObviousHeavy(t *testing.T) {
 
 func TestSampleHHEmpty(t *testing.T) {
 	r := rng.New(5)
-	s := NewSampleHH(10, 0.1, r)
+	s := must(NewSampleHH(10, 0.1, r))
 	if s.Report(0.5) != nil {
 		t.Fatal("empty report should be nil")
 	}
@@ -138,36 +148,30 @@ func TestSampleHHEmpty(t *testing.T) {
 }
 
 func TestSampleHHValidation(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewSampleHH(0, 0.1, rng.New(1)) },
-		func() { NewSampleHH(5, 0, rng.New(1)) },
-		func() { NewSampleHH(5, 1, rng.New(1)) },
-		func() { NewSampleHH(5, 0.1, nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{errOf(NewSampleHH(0, 0.1, rng.New(1))), ErrBadMemory},
+		{errOf(NewSampleHH(5, 0, rng.New(1))), ErrBadEps},
+		{errOf(NewSampleHH(5, 1, rng.New(1))), ErrBadEps},
+		{errOf(NewSampleHH(5, 0.1, nil)), ErrNilRNG},
+	}
+	for i, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Fatalf("case %d: err = %v, want %v", i, c.err, c.want)
+		}
 	}
 }
 
+func errOf[T any](_ T, err error) error { return err }
+
 func TestMGSSValidation(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewMisraGries(0) },
-		func() { NewSpaceSaving(0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+	if err := errOf(NewMisraGries(0)); !errors.Is(err, ErrBadMemory) {
+		t.Fatalf("NewMisraGries(0) err = %v, want ErrBadMemory", err)
+	}
+	if err := errOf(NewSpaceSaving(0)); !errors.Is(err, ErrBadMemory) {
+		t.Fatalf("NewSpaceSaving(0) err = %v, want ErrBadMemory", err)
 	}
 }
 
@@ -175,9 +179,9 @@ func TestReportsSortedAndDeduped(t *testing.T) {
 	r := rng.New(6)
 	stream := zipfStream(20000, r)
 	for _, s := range []Summary{
-		NewSampleHH(2000, 0.05, r.Split()),
-		NewMisraGries(200),
-		NewSpaceSaving(200),
+		must(NewSampleHH(2000, 0.05, r.Split())),
+		must(NewMisraGries(200)),
+		must(NewSpaceSaving(200)),
 	} {
 		feed(s, stream)
 		rep := s.Report(0.02)
@@ -236,7 +240,7 @@ func TestMGCountersNeverNegativeProperty(t *testing.T) {
 	f := func(nRaw uint16, mRaw uint8) bool {
 		n := int(nRaw%2000) + 1
 		m := int(mRaw%20) + 1
-		mg := NewMisraGries(m)
+		mg := must(NewMisraGries(m))
 		for i := 0; i < n; i++ {
 			mg.Insert(1 + r.Int63n(50))
 		}
@@ -260,7 +264,7 @@ func TestSpaceSavingTotalMass(t *testing.T) {
 	// least n/M.
 	r := rng.New(8)
 	const n, m = 10000, 50
-	ss := NewSpaceSaving(m)
+	ss := must(NewSpaceSaving(m))
 	for i := 0; i < n; i++ {
 		ss.Insert(1 + r.Int63n(500))
 	}
@@ -281,7 +285,7 @@ func TestSpaceSavingTotalMass(t *testing.T) {
 }
 
 func BenchmarkMisraGriesInsert(b *testing.B) {
-	mg := NewMisraGries(100)
+	mg := must(NewMisraGries(100))
 	r := rng.New(1)
 	z := rng.NewZipf(10000, 1.2)
 	b.ResetTimer()
@@ -291,7 +295,7 @@ func BenchmarkMisraGriesInsert(b *testing.B) {
 }
 
 func BenchmarkSpaceSavingInsert(b *testing.B) {
-	ss := NewSpaceSaving(100)
+	ss := must(NewSpaceSaving(100))
 	r := rng.New(1)
 	z := rng.NewZipf(10000, 1.2)
 	b.ResetTimer()
@@ -302,7 +306,7 @@ func BenchmarkSpaceSavingInsert(b *testing.B) {
 
 func BenchmarkSampleHHInsert(b *testing.B) {
 	r := rng.New(1)
-	s := NewSampleHH(1000, 0.1, r.Split())
+	s := must(NewSampleHH(1000, 0.1, r.Split()))
 	z := rng.NewZipf(10000, 1.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -319,7 +323,7 @@ func TestStickySamplingNoFalseNegativesStatic(t *testing.T) {
 	fns := 0
 	for trial := 0; trial < trials; trial++ {
 		r := root.Split()
-		ss := NewStickySampling(alpha, eps, delta, r.Split())
+		ss := must(NewStickySampling(alpha, eps, delta, r.Split()))
 		stream := zipfStream(30000, r)
 		feed(ss, stream)
 		ev := Evaluate(stream, ss.Report(alpha), alpha, eps)
@@ -337,7 +341,7 @@ func TestStickySamplingNoFalseNegativesStatic(t *testing.T) {
 
 func TestStickySamplingUndercounts(t *testing.T) {
 	r := rng.New(31)
-	ss := NewStickySampling(0.1, 0.05, 0.1, r.Split())
+	ss := must(NewStickySampling(0.1, 0.05, 0.1, r.Split()))
 	stream := zipfStream(30000, r)
 	feed(ss, stream)
 	for x, d := range trueDensities(stream) {
@@ -349,7 +353,7 @@ func TestStickySamplingUndercounts(t *testing.T) {
 
 func TestStickySamplingSpaceSublinear(t *testing.T) {
 	r := rng.New(32)
-	ss := NewStickySampling(0.05, 0.02, 0.1, r.Split())
+	ss := must(NewStickySampling(0.05, 0.02, 0.1, r.Split()))
 	const n = 100000
 	for i := 0; i < n; i++ {
 		ss.Insert(1 + r.Int63n(1<<20))
@@ -365,26 +369,25 @@ func TestStickySamplingSpaceSublinear(t *testing.T) {
 
 func TestStickySamplingValidation(t *testing.T) {
 	r := rng.New(33)
-	for _, f := range []func(){
-		func() { NewStickySampling(0, 0.1, 0.1, r) },
-		func() { NewStickySampling(0.2, 0.3, 0.1, r) }, // eps >= alpha
-		func() { NewStickySampling(0.2, 0.1, 0, r) },
-		func() { NewStickySampling(0.2, 0.1, 0.1, nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{errOf(NewStickySampling(0, 0.1, 0.1, r)), ErrBadThreshold},
+		{errOf(NewStickySampling(0.2, 0.3, 0.1, r)), ErrBadThreshold}, // eps >= alpha
+		{errOf(NewStickySampling(0.2, 0.1, 0, r)), ErrBadThreshold},
+		{errOf(NewStickySampling(0.2, 0.1, 0.1, nil)), ErrNilRNG},
+	}
+	for i, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Fatalf("case %d: err = %v, want %v", i, c.err, c.want)
+		}
 	}
 }
 
 func TestStickySamplingEmpty(t *testing.T) {
 	r := rng.New(34)
-	ss := NewStickySampling(0.1, 0.05, 0.1, r)
+	ss := must(NewStickySampling(0.1, 0.05, 0.1, r))
 	if ss.Report(0.1) != nil || ss.EstimateDensity(5) != 0 {
 		t.Fatal("empty summary should report nothing")
 	}

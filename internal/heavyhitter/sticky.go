@@ -32,14 +32,14 @@ type StickySampling struct {
 	window   int     // 2t, the width of each rate regime
 }
 
-// NewStickySampling returns a sticky-sampling summary. It panics on invalid
-// parameters.
-func NewStickySampling(alpha, eps, delta float64, r *rng.RNG) *StickySampling {
+// NewStickySampling returns a sticky-sampling summary. It reports
+// ErrBadThreshold or ErrNilRNG on invalid parameters.
+func NewStickySampling(alpha, eps, delta float64, r *rng.RNG) (*StickySampling, error) {
 	if alpha <= 0 || alpha > 1 || eps <= 0 || eps >= alpha || delta <= 0 || delta >= 1 {
-		panic("heavyhitter: need 0 < eps < alpha <= 1 and 0 < delta < 1")
+		return nil, ErrBadThreshold
 	}
 	if r == nil {
-		panic("heavyhitter: need an RNG")
+		return nil, ErrNilRNG
 	}
 	t := int(math.Ceil(1 / eps * math.Log(1/(alpha*delta))))
 	if t < 1 {
@@ -54,7 +54,7 @@ func NewStickySampling(alpha, eps, delta float64, r *rng.RNG) *StickySampling {
 		rate:     1,
 		window:   2 * t,
 		boundary: 2 * t,
-	}
+	}, nil
 }
 
 // Name implements Summary.

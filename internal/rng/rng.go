@@ -91,6 +91,15 @@ func (r *RNG) next() uint64 {
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *RNG) Uint64() uint64 { return r.next() }
 
+// State exports the generator's 128-bit internal state for snapshots. A
+// generator restored with SetState produces exactly the sequence the
+// original would have produced from this point on.
+func (r *RNG) State() (hi, lo uint64) { return r.hi, r.lo }
+
+// SetState overwrites the generator's internal state with a value previously
+// obtained from State.
+func (r *RNG) SetState(hi, lo uint64) { r.hi, r.lo = hi, lo }
+
 // Split returns a new generator statistically independent of r. Splitting is
 // deterministic: the child stream is derived from two draws of the parent, so
 // a fixed root seed yields a fixed tree of generators.

@@ -1,6 +1,10 @@
 package sampler
 
-import "robustsample/internal/rng"
+import (
+	"slices"
+
+	"robustsample/internal/rng"
+)
 
 // This file implements merging of reservoir samples, the primitive behind
 // continuous sampling from distributed streams (Chung-Tirthapura-Woodruff
@@ -81,4 +85,46 @@ func MergeSamples[T any](sampleA []T, nA int, sampleB []T, nB int, k int, r *rng
 // the samplers' round counts as population sizes.
 func MergeReservoirs[T any](a, b *Reservoir[T], k int, r *rng.RNG) []T {
 	return MergeSamples(a.View(), a.Rounds(), b.View(), b.Rounds(), k, r)
+}
+
+// MergeFrom folds other's weighted sample into w. A-Res assigns every
+// stream element an independent key u^(1/weight) and keeps the K largest;
+// the keys of two disjoint substreams are jointly independent, so the K
+// largest keys across both reservoirs are exactly the A-Res sample of the
+// concatenated stream — the merge is lossless and needs no fresh
+// randomness. Ties (measure zero) break toward the receiver's elements.
+// other is not modified.
+func (w *WeightedReservoir[T]) MergeFrom(other *WeightedReservoir[T]) {
+	type pair struct {
+		key  float64
+		item T
+	}
+	pairs := make([]pair, 0, len(w.keys)+len(other.keys))
+	for i, k := range w.keys {
+		pairs = append(pairs, pair{k, w.items[i]})
+	}
+	for i, k := range other.keys {
+		pairs = append(pairs, pair{k, other.items[i]})
+	}
+	// Descending by key, stable so receiver-side elements win ties.
+	slices.SortStableFunc(pairs, func(a, b pair) int {
+		switch {
+		case a.key > b.key:
+			return -1
+		case a.key < b.key:
+			return 1
+		}
+		return 0
+	})
+	if len(pairs) > w.K {
+		pairs = pairs[:w.K]
+	}
+	rounds := w.rounds + other.rounds
+	w.keys = w.keys[:0]
+	w.items = w.items[:0]
+	for _, p := range pairs {
+		w.push(p.key, p.item)
+	}
+	w.rounds = rounds
+	w.delta.clear()
 }

@@ -1,0 +1,115 @@
+package setsystem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/snapshot"
+)
+
+func allSystemsSnap() []SetSystem {
+	return []SetSystem{
+		NewPrefixes(1 << 16),
+		NewIntervals(1 << 16),
+		NewSingletons(1 << 16),
+		NewSuffixes(1 << 16),
+	}
+}
+
+// TestAccumulatorSnapshotRoundTrip checks all three snapshot laws on every
+// set system: bit-identical re-snapshot, bit-identical verdicts, and
+// bit-identical continuation after further updates.
+func TestAccumulatorSnapshotRoundTrip(t *testing.T) {
+	for _, sys := range allSystemsSnap() {
+		t.Run(sys.Name(), func(t *testing.T) {
+			r := rng.New(9)
+			acc := sys.NewAccumulator()
+			var sample []int64
+			for i := 0; i < 2000; i++ {
+				x := 1 + r.Int63n(4096)
+				acc.AddStream(x)
+				if r.Bernoulli(0.1) {
+					acc.AddSample(x)
+					sample = append(sample, x)
+				}
+				// Occasional evictions exercise RemoveSample state.
+				if len(sample) > 0 && r.Bernoulli(0.02) {
+					j := r.Intn(len(sample))
+					acc.RemoveSample(sample[j])
+					sample[j] = sample[len(sample)-1]
+					sample = sample[:len(sample)-1]
+				}
+			}
+			// A verdict before snapshotting populates block state, which
+			// must NOT leak into the encoding.
+			before := acc.Max()
+
+			s1 := acc.AppendSnapshot(nil)
+			fresh := sys.NewAccumulator()
+			if err := fresh.LoadSnapshot(snapshot.NewReader(s1)); err != nil {
+				t.Fatal(err)
+			}
+			if s2 := fresh.AppendSnapshot(nil); !bytes.Equal(s1, s2) {
+				t.Fatal("snapshot not bit-identical after restore")
+			}
+			after := fresh.Max()
+			if before != after {
+				t.Fatalf("restored verdict %v != original %v", after, before)
+			}
+			if fresh.StreamLen() != acc.StreamLen() || fresh.SampleLen() != acc.SampleLen() {
+				t.Fatal("restored multiset sizes differ")
+			}
+
+			// Continuation: identical updates give identical verdicts.
+			more := rng.New(21)
+			for i := 0; i < 500; i++ {
+				x := 1 + more.Int63n(4096)
+				acc.AddStream(x)
+				fresh.AddStream(x)
+				if more.Bernoulli(0.2) {
+					acc.AddSample(x)
+					fresh.AddSample(x)
+				}
+			}
+			if a, b := acc.Max(), fresh.Max(); a != b {
+				t.Fatalf("continuation diverged: %v != %v", b, a)
+			}
+		})
+	}
+}
+
+func TestAccumulatorSnapshotSystemMismatch(t *testing.T) {
+	acc := NewPrefixes(100).NewAccumulator()
+	acc.AddStream(7)
+	snap := acc.AppendSnapshot(nil)
+
+	wrongMode := NewIntervals(100).NewAccumulator()
+	if err := wrongMode.LoadSnapshot(snapshot.NewReader(snap)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("mode mismatch err = %v, want ErrCorrupt", err)
+	}
+	wrongUniverse := NewPrefixes(200).NewAccumulator()
+	if err := wrongUniverse.LoadSnapshot(snapshot.NewReader(snap)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("universe mismatch err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAccumulatorSnapshotCorrupt(t *testing.T) {
+	acc := NewPrefixes(100).NewAccumulator()
+	for i := int64(1); i <= 20; i++ {
+		acc.AddStream(i)
+		acc.AddSample(i)
+	}
+	snap := acc.AppendSnapshot(nil)
+	for _, cut := range []int{0, 5, len(snap) - 1} {
+		fresh := NewPrefixes(100).NewAccumulator()
+		if err := fresh.LoadSnapshot(snapshot.NewReader(snap[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+		// A failed load leaves an empty, usable accumulator.
+		if fresh.StreamLen() != 0 || fresh.SampleLen() != 0 {
+			t.Fatal("failed load left partial state")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"robustsample/internal/sampler"
+	"robustsample/internal/snapshot"
+)
+
+// ErrUnsnapshottable is returned when an engine configuration cannot be
+// serialized: stream-recording engines (their state is the raw traffic, not
+// a summary) and engines whose samplers have no snapshot codec.
+var ErrUnsnapshottable = errors.New("shard: engine configuration has no snapshot codec")
+
+// AppendState appends the engine's full dynamic state: coordinator rounds,
+// the routing RNG, and per shard the private RNG, substream length, sampler
+// state and accumulator state. Configuration (shard count, router, set
+// system, worker pool) is NOT serialized — a snapshot restores into an
+// engine built with the same Config, which is verified structurally on
+// load. All in-repo routers are stateless given their inputs, so no router
+// state is needed.
+func AppendState(buf []byte, e *Engine) ([]byte, error) {
+	if e.cfg.RecordStreams {
+		return nil, fmt.Errorf("%w: RecordStreams engines", ErrUnsnapshottable)
+	}
+	if e.routerRNG == nil {
+		return nil, fmt.Errorf("shard: engine not seeded (call StartGame before snapshotting)")
+	}
+	buf = snapshot.AppendInt64(buf, int64(e.rounds))
+	buf = snapshot.AppendUint64(buf, uint64(len(e.shards)))
+	hi, lo := e.routerRNG.State()
+	buf = snapshot.AppendUint64(buf, hi)
+	buf = snapshot.AppendUint64(buf, lo)
+	for _, sh := range e.shards {
+		if len(sh.pending) != 0 {
+			return nil, fmt.Errorf("shard: snapshot with pending un-ingested elements")
+		}
+		hi, lo := sh.rng.State()
+		buf = snapshot.AppendUint64(buf, hi)
+		buf = snapshot.AppendUint64(buf, lo)
+		buf = snapshot.AppendInt64(buf, int64(sh.rounds))
+		buf = snapshot.AppendBool(buf, sh.sampler != nil)
+		if sh.sampler == nil {
+			continue
+		}
+		var err error
+		buf, err = sampler.AppendState(buf, sh.sampler)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnsnapshottable, err)
+		}
+		buf = sh.acc.AppendSnapshot(buf)
+	}
+	return buf, nil
+}
+
+// LoadState restores state written by AppendState into e, which must have
+// been built with an equivalent Config (same shard count, same sampler
+// shapes, same set system) and seeded at least once. On success the engine
+// behaves exactly as the snapshotted one would for any subsequent traffic.
+func LoadState(r *snapshot.Reader, e *Engine) error {
+	if e.cfg.RecordStreams {
+		return fmt.Errorf("%w: RecordStreams engines", ErrUnsnapshottable)
+	}
+	if e.routerRNG == nil {
+		return fmt.Errorf("shard: engine not seeded (call StartGame before restoring)")
+	}
+	rounds := r.Int64()
+	nShards := r.Uint64()
+	routerHi := r.Uint64()
+	routerLo := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if rounds < 0 || nShards != uint64(len(e.shards)) {
+		return fmt.Errorf("shard: snapshot has %d shards, engine has %d: %w", nShards, len(e.shards), snapshot.ErrCorrupt)
+	}
+	e.rounds = int(rounds)
+	e.routerRNG.SetState(routerHi, routerLo)
+	e.router.Reset()
+	for _, sh := range e.shards {
+		hi := r.Uint64()
+		lo := r.Uint64()
+		shRounds := r.Int64()
+		hasSampler := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if shRounds < 0 || hasSampler != (sh.sampler != nil) {
+			return fmt.Errorf("shard: snapshot sampler layout does not match engine config: %w", snapshot.ErrCorrupt)
+		}
+		sh.rng.SetState(hi, lo)
+		sh.rounds = int(shRounds)
+		sh.pending = sh.pending[:0]
+		if sh.sampler == nil {
+			continue
+		}
+		if err := sampler.LoadState(r, sh.sampler); err != nil {
+			return err
+		}
+		if err := sh.acc.LoadSnapshot(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package quantile is the public quantile-estimation application of
+// Corollary 1.5: a robustly sized reservoir sample answers EVERY rank and
+// quantile query within eps·n simultaneously, with probability 1-delta,
+// even when the stream is chosen by an adaptive adversary watching the
+// sketch.
+//
+// The sketch is generic over its element type through a sketch.Universe[T]
+// codec (rank is a statement about the encoded order), mergeable
+// (MergeFrom implements the [CTW16] coordinator fan-in, so per-site
+// sketches combine into a sketch of the union stream) and serializable
+// (Snapshot/Restore round-trip the full state bit-identically).
+//
+// The deterministic Greenwald-Khanna and randomized KLL baselines the
+// experiments compare against remain in internal/quantile; they are
+// comparison points, not part of the supported surface.
+package quantile
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"robustsample/internal/snapshot"
+	"robustsample/sketch"
+)
+
+// Sentinel errors, shared with the sketch package where the condition is
+// the same (errors.Is works across both).
+var (
+	// ErrBadParams reports an invalid (eps, delta, n) target.
+	ErrBadParams = sketch.ErrBadParams
+	// ErrBadQuantile reports a quantile outside [0, 1].
+	ErrBadQuantile = errors.New("quantile: q must be in [0, 1]")
+	// ErrEmpty reports a query against an empty sketch.
+	ErrEmpty = sketch.ErrEmpty
+	// ErrBadSnapshot reports a corrupt or mismatched snapshot.
+	ErrBadSnapshot = sketch.ErrBadSnapshot
+	// ErrIncompatible reports a merge between incompatible sketches.
+	ErrIncompatible = sketch.ErrIncompatible
+)
+
+// Sketch answers rank and quantile queries over a stream of T from a
+// maintained robust sample. It implements sketch.Sketch[T].
+type Sketch[T any] struct {
+	res *sketch.Reservoir[T]
+	u   sketch.Universe[T]
+	eps float64
+}
+
+var _ sketch.Sketch[int64] = (*Sketch[int64])(nil)
+
+// New returns a quantile sketch sized per Corollary 1.5 for streams of
+// length up to n: a reservoir of k = ceil(2 (ln|U| + ln(2/delta)) / eps^2)
+// elements, making every rank estimate eps·n-accurate with probability
+// 1-delta against any adaptive stream.
+func New[T any](u sketch.Universe[T], eps, delta float64, n int, opts ...sketch.Option) (*Sketch[T], error) {
+	res, err := sketch.NewRobustReservoir(u, eps, delta, n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{res: res, u: u, eps: eps}, nil
+}
+
+// NewWithMemory returns a quantile sketch over an explicitly sized
+// reservoir (k elements), for callers that size memory themselves.
+func NewWithMemory[T any](u sketch.Universe[T], k int, opts ...sketch.Option) (*Sketch[T], error) {
+	res, err := sketch.NewReservoir(u, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{res: res, u: u}, nil
+}
+
+// Eps returns the rank-error target the sketch was sized for (0 when built
+// with NewWithMemory).
+func (s *Sketch[T]) Eps() float64 { return s.eps }
+
+// K returns the underlying reservoir capacity.
+func (s *Sketch[T]) K() int { return s.res.K() }
+
+// Offer implements sketch.Sketch.
+func (s *Sketch[T]) Offer(x T) (bool, error) { return s.res.Offer(x) }
+
+// OfferBatch implements sketch.Sketch.
+func (s *Sketch[T]) OfferBatch(xs []T) (int, error) { return s.res.OfferBatch(xs) }
+
+// View implements sketch.Sketch.
+func (s *Sketch[T]) View() []T { return s.res.View() }
+
+// Len implements sketch.Sketch (the stored sample size).
+func (s *Sketch[T]) Len() int { return s.res.Len() }
+
+// Rounds implements sketch.Sketch (the stream length so far).
+func (s *Sketch[T]) Rounds() int { return s.res.Rounds() }
+
+// Count is Rounds under the name the sketch literature uses.
+func (s *Sketch[T]) Count() int { return s.res.Rounds() }
+
+// Query implements sketch.Sketch: the sample density of [lo, hi].
+func (s *Sketch[T]) Query(lo, hi T) (float64, error) { return s.res.Query(lo, hi) }
+
+// Rank estimates |{ j : x_j <= x }| over the stream so far. With the
+// Corollary 1.5 sizing the estimate is within eps·n of the exact rank for
+// every x simultaneously, with probability 1-delta.
+func (s *Sketch[T]) Rank(x T) (float64, error) {
+	ex, err := s.u.Encode(x)
+	if err != nil {
+		return 0, err
+	}
+	sample := s.res.EncodedView()
+	if len(sample) == 0 {
+		return 0, ErrEmpty
+	}
+	below := 0
+	for _, v := range sample {
+		if v <= ex {
+			below++
+		}
+	}
+	return float64(below) / float64(len(sample)) * float64(s.res.Rounds()), nil
+}
+
+// Quantile returns an element of the sample whose rank is approximately
+// q·n, for q in [0, 1].
+func (s *Sketch[T]) Quantile(q float64) (T, error) {
+	var zero T
+	if q < 0 || q > 1 {
+		return zero, ErrBadQuantile
+	}
+	sample := slices.Clone(s.res.EncodedView())
+	if len(sample) == 0 {
+		return zero, ErrEmpty
+	}
+	slices.Sort(sample)
+	idx := int(q*float64(len(sample))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	x, err := s.u.Decode(sample[idx])
+	if err != nil {
+		return zero, err
+	}
+	return x, nil
+}
+
+// MergeFrom implements sketch.Sketch: after the merge the receiver answers
+// rank/quantile queries for the concatenation of both streams. The
+// argument must be a *Sketch[T] over a same-size universe.
+func (s *Sketch[T]) MergeFrom(other sketch.Sketch[T]) error {
+	o, ok := other.(*Sketch[T])
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *quantile.Sketch", ErrIncompatible, other)
+	}
+	return s.res.MergeFrom(o.res)
+}
+
+// Reset implements sketch.Sketch.
+func (s *Sketch[T]) Reset() { s.res.Reset() }
+
+// Snapshot implements sketch.Sketch: a FrameQuantile frame wrapping the
+// sizing target and the underlying reservoir snapshot.
+func (s *Sketch[T]) Snapshot() ([]byte, error) {
+	inner, err := s.res.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	buf := sketch.AppendFrameHeader(nil, sketch.FrameQuantile)
+	buf = snapshot.AppendFloat64(buf, s.eps)
+	return append(buf, inner...), nil
+}
+
+// Restore implements sketch.Sketch.
+func (s *Sketch[T]) Restore(data []byte) error {
+	r, err := sketch.ReadFrameHeader(data, sketch.FrameQuantile)
+	if err != nil {
+		return err
+	}
+	eps := r.Float64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := s.res.Restore(r.Rest()); err != nil {
+		return err
+	}
+	s.eps = eps
+	return nil
+}

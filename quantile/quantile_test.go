@@ -1,0 +1,181 @@
+package quantile_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"slices"
+	"testing"
+
+	"robustsample/internal/rng"
+	"robustsample/quantile"
+	"robustsample/sketch"
+)
+
+func mustU[T any](u sketch.Universe[T], err error) sketch.Universe[T] {
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func TestValidation(t *testing.T) {
+	u := mustU(sketch.NewInt64Universe(1 << 10))
+	if _, err := quantile.New(u, 0, 0.1, 100); !errors.Is(err, quantile.ErrBadParams) {
+		t.Fatalf("eps=0 err = %v, want ErrBadParams", err)
+	}
+	if _, err := quantile.New[int64](nil, 0.1, 0.1, 100); !errors.Is(err, sketch.ErrNilUniverse) {
+		t.Fatalf("nil universe err = %v, want ErrNilUniverse", err)
+	}
+	if _, err := quantile.NewWithMemory(u, 0); !errors.Is(err, sketch.ErrBadMemory) {
+		t.Fatalf("k=0 err = %v, want ErrBadMemory", err)
+	}
+	s, err := quantile.New(u, 0.1, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quantile(1.5); !errors.Is(err, quantile.ErrBadQuantile) {
+		t.Fatalf("q=1.5 err = %v, want ErrBadQuantile", err)
+	}
+	if _, err := s.Quantile(0.5); !errors.Is(err, quantile.ErrEmpty) {
+		t.Fatalf("empty quantile err = %v, want ErrEmpty", err)
+	}
+	if _, err := s.Rank(5); !errors.Is(err, quantile.ErrEmpty) {
+		t.Fatalf("empty rank err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestRankAccuracy checks the Corollary 1.5 contract empirically on a
+// static stream: every rank estimate within eps*n (the probabilistic
+// guarantee holds with delta slack; the fixed seed keeps the test stable).
+func TestRankAccuracy(t *testing.T) {
+	const (
+		n        = 20000
+		universe = int64(1 << 16)
+		eps      = 0.05
+	)
+	u := mustU(sketch.NewInt64Universe(universe))
+	s, err := quantile.New(u, eps, 0.05, n, sketch.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = 1 + r.Int63n(universe)
+	}
+	if _, err := s.OfferBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+
+	sorted := slices.Clone(stream)
+	slices.Sort(sorted)
+	worst := 0.0
+	for i := 0; i < len(sorted); i += 97 {
+		x := sorted[i]
+		exact := float64(sort64(sorted, x))
+		got, err := s.Rank(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got-exact) / n; d > worst {
+			worst = d
+		}
+	}
+	if worst > eps {
+		t.Fatalf("max rank error %.4f exceeds eps %.2f", worst, eps)
+	}
+
+	// Quantiles come back in order.
+	prev := int64(math.MinInt64)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("quantiles not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+// sort64 returns |{j : sorted[j] <= x}| for an ascending slice.
+func sort64(sorted []int64, x int64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func TestMergeFrom(t *testing.T) {
+	u := mustU(sketch.NewInt64Universe(1 << 10))
+	a, _ := quantile.New(u, 0.1, 0.1, 2000, sketch.WithSeed(1))
+	b, _ := quantile.New(u, 0.1, 0.1, 2000, sketch.WithSeed(2))
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		a.Offer(1 + r.Int63n(512))       // low half
+		b.Offer(512 + r.Int63n(512) + 1) // high half
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2000 {
+		t.Fatalf("merged count %d, want 2000", a.Count())
+	}
+	// The median of the union must sit near the halves' boundary.
+	med, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 300 || med > 750 {
+		t.Fatalf("merged median %d implausible for a low/high union", med)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	u := mustU(sketch.NewInt64Universe(1 << 10))
+	s, _ := quantile.New(u, 0.1, 0.1, 5000, sketch.WithSeed(4))
+	r := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		s.Offer(1 + r.Int63n(1<<10))
+	}
+	s1, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := quantile.NewWithMemory(u, 1) // config comes from the snapshot
+	if err := restored.Restore(s1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("quantile snapshot not bit-identical after restore")
+	}
+	if restored.Eps() != s.Eps() || restored.Count() != s.Count() {
+		t.Fatal("restored config/count differs")
+	}
+	ra, _ := s.Rank(500)
+	rb, _ := restored.Rank(500)
+	if ra != rb {
+		t.Fatalf("restored rank %v != %v", rb, ra)
+	}
+	// Cross-kind rejection: a raw reservoir snapshot is not a quantile one.
+	res, _ := sketch.NewReservoir(u, 8)
+	raw, _ := res.Snapshot()
+	if err := restored.Restore(raw); !errors.Is(err, quantile.ErrBadSnapshot) {
+		t.Fatalf("cross-kind restore err = %v, want ErrBadSnapshot", err)
+	}
+}

@@ -21,7 +21,26 @@
 //     internal/... for the full inventory, and cmd/robustbench for the
 //     experiment harness reproducing every claim).
 //
-// # Quick start
+// # The public surface: generic, mergeable, serializable sketches
+//
+// New code should use the first-class subpackages rather than this flat
+// facade:
+//
+//   - robustsample/sketch — the unified Sketch[T] interface (Offer,
+//     OfferBatch, View/Query, MergeFrom, Reset, Snapshot/Restore) over
+//     every sampler, generic over the element type via a Universe[T]
+//     codec, with error-returning constructors and functional options.
+//   - robustsample/quantile — the Corollary 1.5 robust quantile sketch.
+//   - robustsample/topk — the Corollary 1.6 robust heavy hitters.
+//   - robustsample/shard — the sharded continuous-sampling engine with
+//     pluggable routers, mergeable verdicts and whole-engine checkpoints.
+//
+// This facade remains source-compatible and byte-identical in output — it
+// wraps the same engines the new packages wrap — but it is frozen: it is
+// int64-only, panics on invalid parameters, and cannot persist state. See
+// README.md for the symbol-by-symbol migration table.
+//
+// # Quick start (deprecated facade style)
 //
 //	params := robustsample.Params{Eps: 0.1, Delta: 0.05, N: 100000}
 //	sys := robustsample.NewPrefixes(1 << 20)
@@ -140,12 +159,20 @@ type ReservoirSampler = sampler.Reservoir[int64]
 type WeightedReservoirSampler = sampler.WeightedReservoir[int64]
 
 // NewBernoulli returns a Bernoulli sampler with rate p in [0, 1].
+//
+// Deprecated: use sketch.NewBernoulli, which is generic, validates by
+// error, owns its RNG, and supports MergeFrom and Snapshot/Restore.
 func NewBernoulli(p float64) *BernoulliSampler { return sampler.NewBernoulli[int64](p) }
 
 // NewReservoir returns a reservoir sampler with memory k >= 1.
+//
+// Deprecated: use sketch.NewReservoir, which is generic, validates by
+// error, owns its RNG, and supports MergeFrom and Snapshot/Restore.
 func NewReservoir(k int) *ReservoirSampler { return sampler.NewReservoir[int64](k) }
 
 // NewWeightedReservoir returns a weighted reservoir sampler with memory k.
+//
+// Deprecated: use sketch.NewWeighted.
 func NewWeightedReservoir(k int) *WeightedReservoirSampler {
 	return sampler.NewWeightedReservoir[int64](k)
 }
@@ -188,22 +215,31 @@ func StaticContinuousReservoirSize(p Params, vcDim int) int {
 type ReservoirLSampler = sampler.ReservoirL[int64]
 
 // NewReservoirL returns an Algorithm L reservoir with memory k >= 1.
+//
+// Deprecated: use sketch.NewReservoirL.
 func NewReservoirL(k int) *ReservoirLSampler { return sampler.NewReservoirL[int64](k) }
 
 // NewRobustBernoulli builds a Bernoulli sampler parameterized per Theorem
 // 1.2 for the given set system.
+//
+// Deprecated: use sketch.NewRobustBernoulli.
 func NewRobustBernoulli(p Params, sys SetSystem) *BernoulliSampler {
 	return core.NewRobustBernoulli(p, sys)
 }
 
 // NewRobustReservoir builds a reservoir sampler parameterized per Theorem
 // 1.2 for the given set system.
+//
+// Deprecated: use sketch.NewRobustReservoir (or quantile.New / topk.New
+// for the application-specific sizings).
 func NewRobustReservoir(p Params, sys SetSystem) *ReservoirSampler {
 	return core.NewRobustReservoir(p, sys)
 }
 
 // NewContinuousRobustReservoir builds a reservoir sampler parameterized per
 // Theorem 1.4 for the given set system.
+//
+// Deprecated: use sketch.NewContinuousRobustReservoir.
 func NewContinuousRobustReservoir(p Params, sys SetSystem) *ReservoirSampler {
 	return core.NewContinuousRobustReservoir(p, sys)
 }
@@ -247,10 +283,23 @@ func RunContinuousGame(s Sampler, adv Adversary, sys SetSystem, n int, eps float
 	return game.RunContinuous(s, adv, sys, n, eps, checkpoints, r)
 }
 
-// Checkpoints returns the Theorem 1.4 geometric checkpoint schedule.
+// Checkpoints returns the Theorem 1.4 geometric checkpoint schedule. It
+// panics unless gamma > 0, preserving the historical facade behaviour; new
+// code should handle game.ErrBadGamma through CheckpointSchedule.
 func Checkpoints(start, n int, gamma float64) []int {
+	return game.MustCheckpoints(start, n, gamma)
+}
+
+// CheckpointSchedule is Checkpoints with error-based validation: it reports
+// a non-nil error (errors.Is-able against ErrBadGamma) instead of panicking
+// when gamma <= 0.
+func CheckpointSchedule(start, n int, gamma float64) ([]int, error) {
 	return game.Checkpoints(start, n, gamma)
 }
+
+// ErrBadGamma is the sentinel reported by CheckpointSchedule for a
+// non-positive checkpoint growth factor.
+var ErrBadGamma = game.ErrBadGamma
 
 // NewBisectionAttack returns the Figure-3 adversary over [1, universe] with
 // split parameter pPrime in (0, 1).

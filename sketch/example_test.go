@@ -1,0 +1,98 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"robustsample/sketch"
+)
+
+// Example maintains a robust sample of a string-typed stream: the paper's
+// guarantees are statements about an abstract ordered universe, so a
+// vocabulary universe is exactly as robust as an integer one.
+func Example() {
+	u, err := sketch.NewStringUniverse("get", "put", "delete", "scan", "batch")
+	if err != nil {
+		panic(err)
+	}
+	s, err := sketch.NewReservoir(u, 64, sketch.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+
+	ops := []string{"get", "get", "put", "get", "scan", "get", "put", "delete"}
+	for i := 0; i < 8; i++ {
+		if _, err := s.OfferBatch(ops); err != nil {
+			panic(err)
+		}
+	}
+
+	// Capacity exceeds the stream here, so densities are exact.
+	d, err := s.Query("get", "get")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rounds=%d sample=%d density(get)=%.3f\n", s.Rounds(), s.Len(), d)
+
+	// Out-of-vocabulary values are rejected with a sentinel, not a panic.
+	_, err = s.Offer("drop")
+	fmt.Println("offer(drop):", err != nil)
+	// Output:
+	// rounds=64 sample=64 density(get)=0.500
+	// offer(drop): true
+}
+
+// ExampleSketch_snapshot checkpoints a sketch mid-stream and resumes the
+// restored copy: the RNG state travels with the snapshot, so the copy
+// continues bit-identically.
+func ExampleSketch_snapshot() {
+	u, _ := sketch.NewInt64Universe(1 << 20)
+	s, _ := sketch.NewReservoir(u, 8, sketch.WithSeed(7))
+	for x := int64(1); x <= 1000; x++ {
+		s.Offer(x)
+	}
+
+	snap, _ := s.Snapshot()
+	restored, _ := sketch.NewReservoir(u, 8) // configuration comes from the snapshot
+	if err := restored.Restore(snap); err != nil {
+		panic(err)
+	}
+
+	for x := int64(1001); x <= 2000; x++ {
+		a, _ := s.Offer(x)
+		b, _ := restored.Offer(x)
+		if a != b {
+			panic("diverged")
+		}
+	}
+	same := fmt.Sprint(s.View()) == fmt.Sprint(restored.View())
+	fmt.Printf("snapshot=%dB identical-continuation=%v\n", len(snap), same)
+	// Output:
+	// snapshot=126B identical-continuation=true
+}
+
+// ExampleReservoir_MergeFrom fans two per-site samples into one sample of
+// the union stream — the [CTW16] coordinator primitive behind distributed
+// robust sampling.
+func ExampleReservoir_MergeFrom() {
+	u, _ := sketch.NewInt64Universe(1 << 16)
+	siteA, _ := sketch.NewReservoir(u, 16, sketch.WithSeed(3))
+	siteB, _ := sketch.NewReservoir(u, 16, sketch.WithSeed(4))
+	for x := int64(1); x <= 3000; x++ {
+		siteA.Offer(x)        // site A sees low values
+		siteB.Offer(x + 3000) // site B sees high values
+	}
+
+	if err := siteA.MergeFrom(siteB); err != nil {
+		panic(err)
+	}
+	low := 0
+	for _, x := range siteA.View() {
+		if x <= 3000 {
+			low++
+		}
+	}
+	fmt.Printf("union rounds=%d sample=%d low-site share=%d/16\n",
+		siteA.Rounds(), siteA.Len(), low)
+	// Output:
+	// union rounds=6000 sample=16 low-site share=8/16
+}

@@ -1,0 +1,210 @@
+// Package sketch is the unified public surface for the adversarially robust
+// samplers of "The Adversarial Robustness of Sampling" (Ben-Eliezer &
+// Yogev, PODS 2020): one generic, mergeable, serializable Sketch[T]
+// interface over every sampling algorithm the paper analyzes.
+//
+// A sketch is generic over its element type T through a Universe[T] codec
+// that maps values onto the ordered integer universe [1, N] of the paper's
+// analysis — robustness theorems transfer verbatim, because they are
+// statements about the encoded order, not about int64. Four implementations
+// are provided:
+//
+//   - Reservoir[T]   — Vitter's Algorithm R, the paper's ReservoirSample.
+//   - ReservoirL[T]  — Vitter's Algorithm L: same sample distribution,
+//     O(k log(n/k)) random draws (the high-throughput variant).
+//   - Bernoulli[T]   — BernoulliSample: independent rate-p admission.
+//   - Weighted[T]    — Efraimidis-Spirakis A-Res weighted reservoir
+//     (Section 1.3).
+//
+// Every sketch is:
+//
+//   - Mergeable: MergeFrom folds another sketch's state in, implementing
+//     the [CTW16]/[CMYZ12] coordinator fan-in (uniform merge for
+//     reservoirs, union for Bernoulli, key-union for weighted).
+//   - Serializable: Snapshot/Restore round-trip the complete state —
+//     sample, counters and RNG — through a versioned deterministic binary
+//     encoding, so a sketch can be checkpointed, migrated across processes
+//     and merged at a coordinator. Snapshotting a restored sketch
+//     reproduces the original bytes bit for bit.
+//   - Validated: constructors return sentinel errors (ErrBadMemory,
+//     ErrBadRate, ...) instead of panicking.
+//
+// Randomness is owned by the sketch: constructors seed a deterministic
+// splittable RNG (WithSeed), so equal seeds and equal streams produce equal
+// samples — the reproducibility contract the rest of the repository keeps.
+//
+// The packages robustsample/quantile, robustsample/topk and
+// robustsample/shard build the paper's applications (Corollary 1.5,
+// Corollary 1.6, distributed sampling) on top of this interface.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+
+	"robustsample/internal/snapshot"
+)
+
+// Sentinel errors returned by constructors, offers and codecs. Wrapped
+// errors carry context; test with errors.Is.
+var (
+	// ErrNilUniverse reports a nil Universe.
+	ErrNilUniverse = errors.New("sketch: universe must be non-nil")
+	// ErrBadUniverse reports an unusable universe definition.
+	ErrBadUniverse = errors.New("sketch: invalid universe")
+	// ErrBadMemory reports a sample capacity below 1.
+	ErrBadMemory = errors.New("sketch: memory k must be >= 1")
+	// ErrBadRate reports a Bernoulli rate outside [0, 1].
+	ErrBadRate = errors.New("sketch: Bernoulli rate must be in [0, 1]")
+	// ErrBadParams reports an invalid (eps, delta, n) robustness target.
+	ErrBadParams = errors.New("sketch: need 0 < eps < 1, 0 < delta < 1 and n >= 1")
+	// ErrOutOfUniverse reports a value or point outside the universe.
+	ErrOutOfUniverse = errors.New("sketch: value outside the universe")
+	// ErrBadRange reports a Query range whose lo sorts after hi.
+	ErrBadRange = errors.New("sketch: invalid query range")
+	// ErrIncompatible reports a merge or restore between sketches with
+	// different types or configurations.
+	ErrIncompatible = errors.New("sketch: incompatible sketches")
+	// ErrUnsupportedMerge reports a sketch type that cannot merge without
+	// bias (Algorithm L's skip state is not mergeable).
+	ErrUnsupportedMerge = errors.New("sketch: sketch type does not support MergeFrom")
+	// ErrBadSnapshot reports a corrupt, truncated or mismatched snapshot.
+	ErrBadSnapshot = errors.New("sketch: corrupt or incompatible snapshot")
+	// ErrEmpty reports a query that needs a non-empty sketch.
+	ErrEmpty = errors.New("sketch: empty sketch")
+)
+
+// Sketch is the unified streaming-sample interface. All implementations in
+// this module are deterministic given their seed and input, not safe for
+// concurrent use, and O(1) amortized per offered element.
+type Sketch[T any] interface {
+	// Offer processes the next stream element, reporting whether it
+	// entered the sample. The admission bit is precisely what the paper's
+	// adaptive adversary observes, so exposing it costs nothing in the
+	// adversarial model — the robustness guarantees already assume the
+	// adversary sees the whole sample.
+	Offer(x T) (admitted bool, err error)
+	// OfferBatch processes a run of consecutive elements, returning how
+	// many were admitted. Results never depend on how a stream is sliced
+	// into batches. If any element is outside the universe the batch is
+	// rejected atomically: no element is ingested.
+	OfferBatch(xs []T) (admitted int, err error)
+	// View returns the current sample, decoded. The slice is freshly
+	// allocated; mutating it does not affect the sketch.
+	View() []T
+	// Len returns the current sample size.
+	Len() int
+	// Rounds returns the number of elements offered so far (after a
+	// merge: the combined stream length the sample represents).
+	Rounds() int
+	// Query returns the sample density of the closed range [lo, hi] in
+	// universe order — the quantity d_R(S) that Definition 1.1 guarantees
+	// tracks the stream density within eps for a robustly sized sketch.
+	Query(lo, hi T) (float64, error)
+	// MergeFrom folds other's state into the receiver, after which the
+	// receiver represents the concatenation of both streams ([CTW16]
+	// fan-in). The argument must be the same concrete type over the same
+	// universe; it is not modified.
+	MergeFrom(other Sketch[T]) error
+	// Reset clears the sketch for a fresh stream and reseeds its RNG from
+	// the configured seed.
+	Reset()
+	// Snapshot serializes the complete sketch state (sample, counters,
+	// RNG) as a versioned deterministic byte string.
+	Snapshot() ([]byte, error)
+	// Restore replaces the sketch's state with a snapshot produced by the
+	// same sketch type over a same-size universe. Configuration carried
+	// in the snapshot (capacity, rate) replaces the receiver's.
+	Restore(data []byte) error
+}
+
+// DefaultSeed seeds sketches built without WithSeed.
+const DefaultSeed uint64 = 1
+
+type config struct {
+	seed uint64
+}
+
+// Option configures a sketch constructor.
+type Option func(*config) error
+
+// WithSeed sets the deterministic RNG seed (default DefaultSeed). Two
+// sketches with equal configuration, seed and input streams hold identical
+// samples.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+func applyOptions(opts []Option) (config, error) {
+	c := config{seed: DefaultSeed}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&c); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// Snapshot frame layout shared by every codec in the public surface:
+// 4 magic bytes, 1 version byte, 1 kind byte, then the universe size and
+// the type-specific payload.
+const (
+	snapVersion = 1
+
+	kindBernoulli  = 1
+	kindReservoir  = 2
+	kindReservoirL = 3
+	kindWeighted   = 5
+)
+
+// Frame kinds 16+ are claimed by the application packages layering on top
+// of this one, so every snapshot frame in the module is self-describing.
+const (
+	// FrameQuantile tags robustsample/quantile snapshots.
+	FrameQuantile byte = 16
+	// FrameTopK tags robustsample/topk snapshots.
+	FrameTopK byte = 17
+	// FrameShard tags robustsample/shard engine snapshots.
+	FrameShard byte = 18
+)
+
+var snapMagic = [4]byte{'R', 'S', 'K', 'T'}
+
+// AppendFrameHeader appends the shared snapshot frame header. It is exported
+// for the application packages (quantile, topk, shard) that extend the
+// format; ordinary users never call it.
+func AppendFrameHeader(buf []byte, kind byte) []byte {
+	buf = append(buf, snapMagic[:]...)
+	return append(buf, snapVersion, kind)
+}
+
+// ReadFrameHeader validates the shared frame header and returns a reader
+// positioned at the payload. Like AppendFrameHeader it exists for the
+// application packages.
+func ReadFrameHeader(data []byte, wantKind byte) (*snapshot.Reader, error) {
+	if len(data) < 6 || [4]byte(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if data[4] != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, data[4])
+	}
+	if data[5] != wantKind {
+		return nil, fmt.Errorf("%w: snapshot kind %d, want %d", ErrBadSnapshot, data[5], wantKind)
+	}
+	return snapshot.NewReader(data[6:]), nil
+}
+
+// FrameKind reports the kind byte of a snapshot without decoding it, so
+// dispatchers can route frames to the right sketch type.
+func FrameKind(data []byte) (byte, error) {
+	if len(data) < 6 || [4]byte(data[:4]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	return data[5], nil
+}

@@ -1,0 +1,53 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"robustsample/internal/rng"
+	"robustsample/sketch"
+	"robustsample/topk"
+)
+
+// Example solves (alpha, eps) heavy hitters over a string universe per
+// Corollary 1.6: every element with density >= alpha is reported, nothing
+// with density <= alpha - eps, even against adaptive streams.
+func Example() {
+	u, err := sketch.NewStringUniverse(
+		"checkout", "login", "logout", "search", "view", "wishlist")
+	if err != nil {
+		panic(err)
+	}
+	const n = 50000
+	s, err := topk.New(u, 0.12, 0.05, n, sketch.WithSeed(6))
+	if err != nil {
+		panic(err)
+	}
+
+	// "view" ~55%, "search" ~25%, the rest splits ~20%.
+	r := rng.New(8)
+	others := []string{"checkout", "login", "logout", "wishlist"}
+	for i := 0; i < n; i++ {
+		switch x := r.Float64(); {
+		case x < 0.55:
+			s.Offer("view")
+		case x < 0.80:
+			s.Offer("search")
+		default:
+			s.Offer(others[r.Intn(len(others))])
+		}
+	}
+
+	heavy, err := s.Report(0.20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("heavy hitters at alpha=0.20: %v\n", heavy)
+	d, err := s.EstimateDensity("view")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("density(view) ~ %.2f\n", d)
+	// Output:
+	// heavy hitters at alpha=0.20: [search view]
+	// density(view) ~ 0.54
+}

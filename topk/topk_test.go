@@ -1,0 +1,147 @@
+package topk_test
+
+import (
+	"bytes"
+	"errors"
+	"slices"
+	"testing"
+
+	"robustsample/internal/rng"
+	"robustsample/sketch"
+	"robustsample/topk"
+)
+
+func mustU[T any](u sketch.Universe[T], err error) sketch.Universe[T] {
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func TestValidation(t *testing.T) {
+	u := mustU(sketch.NewInt64Universe(1 << 10))
+	if _, err := topk.New(u, 0, 0.1, 100); !errors.Is(err, topk.ErrBadEps) {
+		t.Fatalf("eps=0 err = %v, want ErrBadEps", err)
+	}
+	if _, err := topk.New(u, 0.1, 0, 100); !errors.Is(err, topk.ErrBadParams) {
+		t.Fatalf("delta=0 err = %v, want ErrBadParams", err)
+	}
+	if _, err := topk.New[int64](nil, 0.1, 0.1, 100); !errors.Is(err, sketch.ErrNilUniverse) {
+		t.Fatalf("nil universe err = %v, want ErrNilUniverse", err)
+	}
+	if _, err := topk.NewWithMemory(u, 0, 0.1); !errors.Is(err, topk.ErrBadMemory) {
+		t.Fatalf("k=0 err = %v, want ErrBadMemory", err)
+	}
+	s, err := topk.New(u, 0.15, 0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Report(0); !errors.Is(err, topk.ErrBadThreshold) {
+		t.Fatalf("alpha=0 err = %v, want ErrBadThreshold", err)
+	}
+	if out, err := s.Report(0.5); err != nil || out != nil {
+		t.Fatalf("empty report = %v, %v", out, err)
+	}
+}
+
+// TestReportContract checks the Corollary 1.6 decision rule on a skewed
+// static stream: the heavy element is reported, light ones are not.
+func TestReportContract(t *testing.T) {
+	const (
+		n     = 20000
+		alpha = 0.25
+		eps   = 0.15
+	)
+	u := mustU(sketch.NewInt64Universe(1 << 16))
+	s, err := topk.New(u, eps, 0.05, n, sketch.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	// Element 42 has density ~0.3 >= alpha; the rest is uniform noise
+	// (every noise value has density far below alpha - eps).
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			s.Offer(42)
+		} else {
+			s.Offer(100 + r.Int63n(60000))
+		}
+	}
+	heavy, err := s.Report(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(heavy, int64(42)) {
+		t.Fatalf("heavy element missing from report %v", heavy)
+	}
+	for _, x := range heavy {
+		if x != 42 {
+			t.Fatalf("light element %d reported", x)
+		}
+	}
+	d, err := s.EstimateDensity(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.3-eps/3 || d > 0.3+eps/3 {
+		t.Fatalf("density estimate %.3f outside eps/3 of 0.3", d)
+	}
+}
+
+func TestMergeAndSnapshot(t *testing.T) {
+	u := mustU(sketch.NewStringUniverse("a", "b", "c", "d", "e"))
+	a, err := topk.New(u, 0.2, 0.1, 400, sketch.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := topk.New(u, 0.2, 0.1, 400, sketch.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a.Offer("a")
+		b.Offer("b")
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 400 {
+		t.Fatalf("merged count %d, want 400", a.Count())
+	}
+	heavy, err := a.Report(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(heavy, []string{"a", "b"}) {
+		t.Fatalf("merged report = %v, want [a b]", heavy)
+	}
+
+	s1, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := topk.NewWithMemory(u, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(s1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("topk snapshot not bit-identical after restore")
+	}
+	if restored.Eps() != 0.2 {
+		t.Fatalf("restored eps %v, want 0.2 (from snapshot)", restored.Eps())
+	}
+	got, err := restored.Report(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, heavy) {
+		t.Fatalf("restored report %v != %v", got, heavy)
+	}
+}
