@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"robustsample/internal/bench"
 	"robustsample/internal/game"
@@ -34,24 +36,56 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		exp      = flag.String("exp", "", "run a single experiment by ID (E1..E18)")
-		fig      = flag.String("fig", "", "render a figure by ID (F1, F2)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		seed     = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
-		trials   = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
-		scale    = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
-		workers  = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
-		chunk    = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
-		shards   = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
-		jsonPath = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
+		all        = flag.Bool("all", false, "run every experiment")
+		exp        = flag.String("exp", "", "run a single experiment by ID (E1..E19)")
+		fig        = flag.String("fig", "", "render a figure by ID (F1, F2)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
+		trials     = flag.Int("trials", bench.DefaultConfig().Trials, "trials per table row")
+		scale      = flag.Float64("scale", bench.DefaultConfig().Scale, "stream-length scale factor")
+		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
+		chunk      = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
+		shards     = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
+		producers  = flag.Int("producers", 0, "producer-lane count for the concurrent serving experiment E19 (0 = sweep 1/2/4/8)")
+		jsonPath   = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
 	if *chunk > 0 {
 		game.SpanChunkCap = *chunk
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: *producers}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -87,12 +121,21 @@ func main() {
 
 // emitJSON measures the selected experiments once more under cfg and
 // writes the machine-readable results to path; the perf trajectory files
-// (BENCH_*.json) are produced this way. A no-op when path is empty.
+// (BENCH_*.json) are produced this way. When the selection includes the
+// concurrent serving experiment E19, the throughput-vs-producers scaling
+// curve (one ConcurrentIngest entry per lane count) is appended. A no-op
+// when path is empty.
 func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int) {
 	if path == "" {
 		return
 	}
 	results := bench.Measure(cfg, exps, chunk)
+	for _, e := range exps {
+		if e.ID == "E19" {
+			results = append(results, bench.MeasureConcurrentIngest(cfg)...)
+			break
+		}
+	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

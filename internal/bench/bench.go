@@ -42,6 +42,11 @@ type Config struct {
 	// configuration, so different values legitimately change the E18
 	// table (and only that table).
 	Shards int
+	// Producers pins the producer-lane count of the concurrent serving
+	// experiment (E19): 0 (the default) sweeps the reference ladder
+	// {1, 2, 4, 8}; any other value sweeps {1, Producers}. It affects only
+	// the E19 table and the ConcurrentIngest JSON curve.
+	Producers int
 }
 
 // DefaultConfig is the reference configuration for the DESIGN.md tables.
@@ -211,6 +216,7 @@ func All() []Experiment {
 		{"E16", "Section 1.3: weighted reservoir sampling extension", ExpE16},
 		{"E17", "Ablation: reservoir variants (Algorithm R / Algorithm L / with-replacement)", ExpE17},
 		{"E18", "Section 1.3: sharded continuous sampling with mergeable verdicts", ExpE18},
+		{"E19", "Concurrent serving runtime: pipeline determinism and throughput vs producers", ExpE19},
 	}
 	slices.SortFunc(exps, func(a, b Experiment) int {
 		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))

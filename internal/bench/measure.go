@@ -17,6 +17,15 @@ type BenchParams struct {
 	Workers int     `json:"workers"`
 	Shards  int     `json:"shards,omitempty"`
 	Chunk   int     `json:"chunk,omitempty"`
+	// Producers tags the ConcurrentIngest scaling curve: the lane count
+	// the entry was measured at.
+	Producers int `json:"producers,omitempty"`
+	// LatencyNs records the modeled client round-trip each producer lane
+	// pays per batch in the ConcurrentIngest benchmark, so the curve is
+	// self-describing (see internal/bench exp_serving.go).
+	LatencyNs int64 `json:"latency_ns,omitempty"`
+	// N is the element count a ConcurrentIngest entry ingested.
+	N int `json:"n,omitempty"`
 }
 
 // BenchResult is one machine-readable measurement: a full experiment run
@@ -59,6 +68,40 @@ func Measure(cfg Config, exps []Experiment, chunk int) []BenchResult {
 			AllocsPerOp: after.Mallocs - before.Mallocs,
 			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
 			Params:      params,
+		})
+	}
+	return results
+}
+
+// MeasureConcurrentIngest measures the dense-regime serving benchmark at
+// every producer count in the sweep and returns one ConcurrentIngest entry
+// per count: ns_per_op is wall-clock per ingested element (throughput =
+// 1e9 / ns_per_op elements/sec), with the lane count, element count and
+// the modeled per-batch client latency recorded in the params block. This
+// is the throughput-vs-producers scaling curve of the perf trajectory.
+func MeasureConcurrentIngest(cfg Config) []BenchResult {
+	tn := cfg.scaled(1<<18, 1<<13)
+	results := make([]BenchResult, 0, 4)
+	for _, P := range cfg.producerCounts() {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		elapsed, total := measureServingIngest(tn, P)
+		runtime.ReadMemStats(&after)
+		results = append(results, BenchResult{
+			Name:        "ConcurrentIngest",
+			NsPerOp:     elapsed.Nanoseconds() / int64(total),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(total),
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(total),
+			Params: BenchParams{
+				Seed:      cfg.Seed,
+				Trials:    cfg.trials(),
+				Scale:     cfg.Scale,
+				Workers:   cfg.Workers,
+				Producers: P,
+				LatencyNs: servingLatency.Nanoseconds(),
+				N:         total,
+			},
 		})
 	}
 	return results

@@ -449,17 +449,19 @@ func RunContinuousWith(s Sampler, adv Adversary, sys setsystem.SetSystem, n int,
 // batch delta — additions applied before removals, so an element admitted
 // and evicted within one batch never drives a count negative. Spans where
 // the sampler admitted everything with no evictions (a filling reservoir)
-// ingest both multisets in one fused pass.
+// ingest both multisets in one fused pass. It returns the number of
+// elements the sampler admitted from the batch.
 //
 // This is the bit-exactness-critical step shared by the batched continuous
-// game and the shard engine's per-shard flush; keeping it in one place
-// keeps those paths incapable of drifting apart.
-func IngestBatchSynced(bs BatchSampler, deltas SampleDeltaReporter, acc *setsystem.Accumulator, xs []int64, r *rng.RNG) {
-	bs.OfferBatch(xs, r)
+// game, the shard engine's per-shard flush, and the serving pipeline's
+// consumer goroutines; keeping it in one place keeps those paths incapable
+// of drifting apart.
+func IngestBatchSynced(bs BatchSampler, deltas SampleDeltaReporter, acc *setsystem.Accumulator, xs []int64, r *rng.RNG) int {
+	admitted := bs.OfferBatch(xs, r)
 	added, removed := deltas.LastDelta()
 	if len(removed) == 0 && slices.Equal(added, xs) {
 		acc.AddStreamAndSampleBatch(xs)
-		return
+		return admitted
 	}
 	acc.AddStreamBatch(xs)
 	for _, a := range added {
@@ -468,6 +470,7 @@ func IngestBatchSynced(bs BatchSampler, deltas SampleDeltaReporter, acc *setsyst
 	for _, e := range removed {
 		acc.RemoveSample(e)
 	}
+	return admitted
 }
 
 // runContinuousBatched is RunContinuous's span loop for non-adaptive

@@ -1,0 +1,336 @@
+package runtime
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// collectingApply returns an Apply that appends per-shard (no locking
+// needed: Apply is already serialized per shard by the pipeline) plus an
+// accessor for the totals.
+func collectingApply(shards int) (func(int, []int64), func() [][]int64) {
+	got := make([][]int64, shards)
+	return func(s int, xs []int64) {
+			got[s] = append(got[s], xs...)
+		}, func() [][]int64 {
+			return got
+		}
+}
+
+func TestPipelineDeterministicRoundRobinMerge(t *testing.T) {
+	// 3 lanes stripe a known stream; the sequenced router must rebuild it
+	// in exact global order, whatever the goroutine scheduling was.
+	const P, n = 3, 9000
+	stream := make([]int64, n)
+	for i := range stream {
+		stream[i] = int64(i)
+	}
+	var routedOrder []int64
+	apply, got := collectingApply(2)
+	p, err := Start(Config{
+		Shards:        2,
+		Producers:     P,
+		RingSize:      64,
+		ChunkCap:      16,
+		Deterministic: true,
+		RouteSerial: func(x int64) int {
+			routedOrder = append(routedOrder, x) // router goroutine only
+			return int(x) % 2
+		},
+		Apply: apply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(P)
+	for lane := 0; lane < P; lane++ {
+		go func(lane int) {
+			defer wg.Done()
+			pr := p.Producer(lane)
+			for i := lane; i < n; i += P {
+				if err := pr.Offer(stream[i]); err != nil {
+					t.Errorf("Offer: %v", err)
+					return
+				}
+			}
+			pr.Close()
+		}(lane)
+	}
+	wg.Wait()
+	ep := p.Flush()
+	if ep.Applied != n {
+		t.Fatalf("Flush epoch applied = %d, want %d", ep.Applied, n)
+	}
+	p.Close()
+	if !slices.Equal(routedOrder, stream) {
+		t.Fatalf("router did not rebuild the stream in order (first divergence near %d)", firstDiff(routedOrder, stream))
+	}
+	for s, xs := range got() {
+		for _, x := range xs {
+			if int(x)%2 != s {
+				t.Fatalf("shard %d received misrouted element %d", s, x)
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []int64) int {
+	for i := range min(len(a), len(b)) {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return min(len(a), len(b))
+}
+
+func TestPipelineLiveConservation(t *testing.T) {
+	// 4 producers push concurrently through a live (producer-side) router;
+	// every element must be applied exactly once to its routed shard.
+	const P, perLane, S = 4, 25000, 3
+	apply, got := collectingApply(S)
+	p, err := Start(Config{
+		Shards:    S,
+		Producers: P,
+		RingSize:  128,
+		RouteLive: func(_ int, x int64) int { return int(uint64(x) % S) },
+		Apply:     apply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(P)
+	for lane := 0; lane < P; lane++ {
+		go func(lane int) {
+			defer wg.Done()
+			pr := p.Producer(lane)
+			batch := make([]int64, 0, 50)
+			for i := 0; i < perLane; i++ {
+				batch = append(batch, int64(lane*perLane+i))
+				if len(batch) == cap(batch) {
+					if err := pr.OfferBatch(batch); err != nil {
+						t.Errorf("OfferBatch: %v", err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if err := pr.OfferBatch(batch); err != nil {
+				t.Errorf("OfferBatch: %v", err)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	ep := p.Flush()
+	if ep.Applied != P*perLane {
+		t.Fatalf("applied %d, want %d", ep.Applied, P*perLane)
+	}
+	if off := p.Offered(); off != P*perLane {
+		t.Fatalf("offered %d, want %d", off, P*perLane)
+	}
+	seen := make([]bool, P*perLane)
+	for s, xs := range got() {
+		for _, x := range xs {
+			if int(uint64(x)%S) != s {
+				t.Fatalf("shard %d holds misrouted element %d", s, x)
+			}
+			if seen[x] {
+				t.Fatalf("element %d applied twice", x)
+			}
+			seen[x] = true
+		}
+	}
+	for x, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost", x)
+		}
+	}
+	p.Close()
+}
+
+func TestPipelineFlushBarrierDuringIngest(t *testing.T) {
+	// Flush taken mid-stream must cover exactly the elements whose Offer
+	// returned before it; later elements may or may not be included, but
+	// the barrier count can never run ahead of what was offered.
+	var applied atomic.Int64
+	p, err := Start(Config{
+		Shards:    2,
+		Producers: 1,
+		RouteLive: func(_ int, x int64) int { return int(x) & 1 },
+		Apply:     func(_ int, xs []int64) { applied.Add(int64(len(xs))) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := p.Producer(0)
+	for i := 0; i < 1000; i++ {
+		if err := pr.Offer(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ep := p.Flush()
+	if got := applied.Load(); got < 1000 {
+		t.Fatalf("after Flush only %d of 1000 applied", got)
+	}
+	if ep.Applied < 1000 {
+		t.Fatalf("epoch applied = %d, want >= 1000", ep.Applied)
+	}
+	if ep2 := p.Flush(); ep2.Seq <= ep.Seq {
+		t.Fatalf("epoch sequence did not advance: %d then %d", ep.Seq, ep2.Seq)
+	}
+	p.Close()
+}
+
+func TestPipelineWithShardExcludesApply(t *testing.T) {
+	// While WithShard holds a shard, Apply must not run for that shard;
+	// the probe watches for overlap via an atomic flag.
+	var inApply, overlap atomic.Bool
+	p, err := Start(Config{
+		Shards:    1,
+		Producers: 1,
+		RouteLive: func(_ int, _ int64) int { return 0 },
+		Apply: func(_ int, xs []int64) {
+			inApply.Store(true)
+			for range xs {
+			}
+			inApply.Store(false)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pr := p.Producer(0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := pr.Offer(int64(i)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		p.WithShard(0, func() {
+			if inApply.Load() {
+				overlap.Store(true)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	p.Close()
+	if overlap.Load() {
+		t.Fatal("Apply observed running inside WithShard")
+	}
+}
+
+func TestPipelineCloseDrainsAndRejects(t *testing.T) {
+	apply, got := collectingApply(1)
+	p, err := Start(Config{
+		Shards:    1,
+		Producers: 1,
+		RouteLive: func(_ int, _ int64) int { return 0 },
+		Apply:     apply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := p.Producer(0)
+	for i := 0; i < 500; i++ {
+		if err := pr.Offer(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ep := p.Close()
+	if ep.Applied != 500 {
+		t.Fatalf("Close applied %d, want 500", ep.Applied)
+	}
+	if len(got()[0]) != 500 {
+		t.Fatalf("shard holds %d elements after Close, want 500", len(got()[0]))
+	}
+	if err := pr.Offer(1); err != ErrClosed {
+		t.Fatalf("Offer after Close = %v, want ErrClosed", err)
+	}
+	if err := pr.OfferBatch([]int64{1}); err != ErrClosed {
+		t.Fatalf("OfferBatch after Close = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	p.Close()
+}
+
+func TestPipelineFreezeConsistentCut(t *testing.T) {
+	// Under Freeze, per-shard applied counts must not move.
+	const S = 3
+	counts := make([]atomic.Int64, S)
+	p, err := Start(Config{
+		Shards:    S,
+		Producers: 2,
+		RouteLive: func(_ int, x int64) int { return int(uint64(x) % S) },
+		Apply:     func(s int, xs []int64) { counts[s].Add(int64(len(xs))) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for lane := 0; lane < 2; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			pr := p.Producer(lane)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if pr.Offer(int64(i)) != nil {
+					return
+				}
+			}
+		}(lane)
+	}
+	for i := 0; i < 100; i++ {
+		var before, after [S]int64
+		p.Freeze(func() {
+			for s := range counts {
+				before[s] = counts[s].Load()
+			}
+			for s := range counts {
+				after[s] = counts[s].Load()
+			}
+		})
+		if before != after {
+			t.Fatalf("applied counts moved during Freeze: %v -> %v", before, after)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPipelineConfigValidation(t *testing.T) {
+	apply := func(int, []int64) {}
+	live := func(int, int64) int { return 0 }
+	for name, cfg := range map[string]Config{
+		"no shards":     {Shards: 0, Producers: 1, RouteLive: live, Apply: apply},
+		"no producers":  {Shards: 1, Producers: 0, RouteLive: live, Apply: apply},
+		"no apply":      {Shards: 1, Producers: 1, RouteLive: live},
+		"no live route": {Shards: 1, Producers: 1, Apply: apply},
+		"no det route":  {Shards: 1, Producers: 1, Deterministic: true, Apply: apply},
+	} {
+		if _, err := Start(cfg); err == nil {
+			t.Errorf("%s: Start accepted invalid config", name)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package runtime is the concurrent serving runtime underneath the sharded
+// engine: a lock-free ingest pipeline that lets many producer goroutines
+// offer stream elements while per-shard consumer goroutines drain them into
+// the (single-threaded) sampler + accumulator batch paths, and monitors
+// query live state behind epoch-stamped read barriers.
+//
+// The pipeline has two stages:
+//
+//   - an MPSC routing stage that decides each element's destination shard —
+//     either concurrently on the producers themselves (live mode, for
+//     routers that are pure functions or own per-producer randomness) or on
+//     a dedicated router goroutine that merges producer lanes in global
+//     sequence order (deterministic mode);
+//   - one bounded SPSC ring per shard feeding that shard's consumer
+//     goroutine, which applies elements in FIFO order in bounded chunks
+//     while holding the shard's lock.
+//
+// Backpressure is the rings' bounded capacity: a full ring makes the
+// producer (or router) spin-then-sleep until the consumer catches up, so
+// memory use is fixed no matter how far producers outrun ingest.
+//
+// Reads never stall the offer hot path: queries lock individual shards (or,
+// under Freeze, all of them) only against the consumers' bounded apply
+// chunks, while producers keep pushing into the rings.
+package runtime
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free multi-producer single-consumer queue of
+// stream elements (Vyukov's bounded-queue cell/sequence scheme restricted
+// to one consumer). Any number of goroutines may Push concurrently; Pop,
+// PopInto and Empty must be called from a single consumer goroutine at a
+// time. Capacity is rounded up to a power of two.
+type Ring struct {
+	mask  uint64
+	cells []ringCell
+	enq   atomic.Uint64 // next enqueue position; also the count of pushes ever started
+	deq   uint64        // next dequeue position; consumer-owned
+}
+
+type ringCell struct {
+	seq atomic.Uint64
+	val int64
+}
+
+// NewRing returns a ring of at least the given capacity (rounded up to a
+// power of two, minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), cells: make([]ringCell, n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.cells) }
+
+// Push enqueues x, reporting false when the ring is full. Safe for
+// concurrent use by any number of producers.
+func (r *Ring) Push(x int64) bool {
+	pos := r.enq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.val = x
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The cell still holds an element the consumer has not taken:
+			// the ring is full.
+			return false
+		default:
+			// Another producer claimed this position; reload.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// Pop dequeues one element. Consumer-only.
+func (r *Ring) Pop() (int64, bool) {
+	c := &r.cells[r.deq&r.mask]
+	if c.seq.Load() != r.deq+1 {
+		return 0, false
+	}
+	v := c.val
+	c.seq.Store(r.deq + r.mask + 1)
+	r.deq++
+	return v, true
+}
+
+// PopInto dequeues up to len(buf) elements into buf, returning how many it
+// took. Consumer-only.
+func (r *Ring) PopInto(buf []int64) int {
+	n := 0
+	for n < len(buf) {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
+// Empty reports whether every push that has started is consumed.
+// Consumer-only (it reads the consumer's dequeue cursor).
+func (r *Ring) Empty() bool { return r.enq.Load() == r.deq }
+
+// Pushed returns the number of pushes ever started on the ring. An element
+// whose Push has returned is always counted; the FIFO drain barrier in
+// Pipeline.Flush is built on this.
+func (r *Ring) Pushed() uint64 { return r.enq.Load() }

@@ -55,3 +55,16 @@ func (a *Accumulator) MergeFrom(other *Accumulator) {
 	a.nx += other.nx
 	a.ns += other.ns
 }
+
+// CopyFrom overwrites a with an exact logical copy of other's state: the
+// same stream and sample multisets, hence bit-identical Max verdicts. It is
+// the serving runtime's read-barrier copy hook: a live query locks a shard
+// only long enough to CopyFrom its accumulator — O(distinct values), no
+// hull work — and runs the (costlier) Max on the copy after releasing the
+// lock, so checkpoint queries overlap ingest instead of stalling it.
+//
+// Like MergeFrom it requires a distinct source from the same set system.
+func (a *Accumulator) CopyFrom(other *Accumulator) {
+	a.Reset()
+	a.MergeFrom(other)
+}

@@ -192,3 +192,40 @@ func TestMergeFromValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestCopyFromMatchesSource pins the read-barrier copy hook: after
+// CopyFrom, the copy's verdict is bit-identical to the source's, the
+// source is untouched, and the copy then evolves independently.
+func TestCopyFromMatchesSource(t *testing.T) {
+	r := rng.New(55)
+	for _, sys := range []SetSystem{NewPrefixes(64), NewIntervals(64), NewSingletons(64), NewSuffixes(64)} {
+		src := sys.NewAccumulator()
+		dst := sys.NewAccumulator()
+		for i := 0; i < 500; i++ {
+			x := 1 + r.Int63n(64)
+			src.AddStream(x)
+			if i%3 == 0 {
+				src.AddSample(x)
+			}
+		}
+		// A reused destination must be fully overwritten.
+		dst.AddStream(7)
+		dst.AddSample(7)
+		dst.CopyFrom(src)
+		want := src.Max()
+		if got := dst.Max(); got != want {
+			t.Fatalf("%T: copy verdict %v, source %v", sys, got, want)
+		}
+		if got := src.Max(); got != want {
+			t.Fatalf("%T: CopyFrom perturbed the source: %v vs %v", sys, got, want)
+		}
+		// Independent evolution: mutating the copy leaves the source alone.
+		dst.AddStream(1)
+		if got := src.Max(); got != want {
+			t.Fatalf("%T: copy mutation leaked into the source", sys)
+		}
+		if src.StreamLen() == dst.StreamLen() {
+			t.Fatalf("%T: copy did not diverge after mutation", sys)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// The serving runtime: Engine.Serve lifts a sharded engine into a
+// concurrent ingest pipeline (internal/runtime) where many producer
+// goroutines offer elements while per-shard consumers drain them into the
+// existing sampler + accumulator batch paths, and coordinator queries —
+// Verdict, ShardVerdict, Sample, GlobalSample — run live against
+// epoch-stamped read barriers instead of stopping the stream.
+//
+// Two modes:
+//
+//   - Live (default): producers route their own elements (per-lane RNG
+//     streams for Uniform, the pure hash for HashByValue, an atomic ticket
+//     for RoundRobin) and push lock-free into per-shard rings. Maximum
+//     throughput; the ingested interleaving is whatever the scheduler made
+//     it, so samples are valid but not bit-reproducible.
+//   - Deterministic: a router goroutine merges the producer lanes in
+//     round-robin order and draws routing decisions serially from the
+//     engine's routing RNG — exactly the serial Ingest code path — so a
+//     stream striped across lanes (lane p takes elements p, p+P, ...)
+//     yields byte-identical samples and verdict tables to serial ingest,
+//     for every producer count. The differential tests pin this.
+//
+// Queries lock one shard at a time (Freeze: all of them) only against the
+// consumers' bounded apply chunks; the offer hot path never blocks on a
+// query. ShardVerdict additionally copies the shard's accumulator behind
+// the lock (setsystem.CopyFrom, the read-barrier copy hook) and runs the
+// discrepancy scan on the copy outside it.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/runtime"
+	"robustsample/internal/setsystem"
+)
+
+// ErrServeUnsupported reports an engine configuration Serve cannot run
+// concurrently (stream recording needs a global element order, which a
+// concurrent ingest has only in deterministic mode — and there the recorded
+// order would duplicate what the producers already hold).
+var ErrServeUnsupported = errors.New("shard: engine configuration does not support serving")
+
+// ServeConfig sizes the ingest pipeline.
+type ServeConfig struct {
+	// Producers is the number of producer lanes; <= 0 selects 1. Each lane
+	// is owned by one goroutine at a time.
+	Producers int
+	// RingSize is the per-ring capacity (backpressure bound); <= 0 selects
+	// the runtime default.
+	RingSize int
+	// ChunkCap caps elements applied per shard-lock hold; <= 0 selects the
+	// runtime default.
+	ChunkCap int
+	// Deterministic selects sequenced routing (see package comment).
+	Deterministic bool
+}
+
+// Serving is a running concurrent ingest session over an Engine. All its
+// methods are safe for concurrent use (Producer lanes by one goroutine
+// each); the underlying Engine must not be used directly until Close.
+type Serving struct {
+	e  *Engine
+	pl *runtime.Pipeline
+
+	qmu     sync.Mutex             // serializes queries (shared scratch accumulators)
+	scratch *setsystem.Accumulator // ShardVerdict copy target
+
+	routeMu     sync.Mutex // serializes routing state against Freeze (deterministic / fallback routers)
+	startRounds int
+	liveRound   atomic.Int64 // live RoundRobin ticket
+	fallback    int          // fallback router round counter, under routeMu
+}
+
+// Serve starts a concurrent ingest pipeline over the engine. The engine
+// must be seeded (StartGame) and must not record streams; it must not be
+// touched directly — including by its own Ingest/Offer/Verdict — until the
+// returned Serving is Closed, which drains the pipeline and syncs the
+// engine's counters so serial use can resume.
+func (e *Engine) Serve(cfg ServeConfig) (*Serving, error) {
+	if e.cfg.RecordStreams {
+		return nil, fmt.Errorf("%w: RecordStreams engines ingest serially", ErrServeUnsupported)
+	}
+	if e.routerRNG == nil {
+		return nil, fmt.Errorf("%w: engine is not seeded (StartGame first)", ErrServeUnsupported)
+	}
+	if cfg.Producers <= 0 {
+		cfg.Producers = 1
+	}
+	s := &Serving{e: e, startRounds: e.rounds}
+	rcfg := runtime.Config{
+		Shards:        len(e.shards),
+		Producers:     cfg.Producers,
+		RingSize:      cfg.RingSize,
+		ChunkCap:      cfg.ChunkCap,
+		Deterministic: cfg.Deterministic,
+		Apply: func(si int, xs []int64) {
+			e.applyShard(e.shards[si], xs)
+		},
+	}
+	if cfg.Deterministic {
+		round := e.rounds
+		rcfg.RouteSerial = func(x int64) int {
+			s.routeMu.Lock()
+			round++
+			si := e.router.Route(x, round, len(e.shards), e.routerRNG)
+			s.routeMu.Unlock()
+			if si < 0 || si >= len(e.shards) {
+				panic("shard: router returned out-of-range shard")
+			}
+			return si
+		}
+	} else {
+		rcfg.RouteLive = e.liveRouter(s, cfg.Producers)
+	}
+	pl, err := runtime.Start(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.pl = pl
+	return s, nil
+}
+
+// liveRouter builds the producer-side routing function for live mode. The
+// three in-repo routers route without shared mutable state (per-lane RNG
+// streams split from the engine's routing stream for Uniform, a pure hash,
+// an atomic ticket for RoundRobin); unknown Router implementations fall
+// back to a lock around the serial routing path.
+func (e *Engine) liveRouter(s *Serving, producers int) func(int, int64) int {
+	S := len(e.shards)
+	switch r := e.router.(type) {
+	case Uniform:
+		lanes := make([]*rng.RNG, producers)
+		for i := range lanes {
+			lanes[i] = e.routerRNG.Split()
+		}
+		return func(lane int, _ int64) int { return lanes[lane].Intn(S) }
+	case HashByValue:
+		return func(_ int, x int64) int { return r.Route(x, 0, S, nil) }
+	case RoundRobin:
+		return func(_ int, _ int64) int {
+			return int((s.liveRound.Add(1) - 1) % int64(S))
+		}
+	default:
+		return func(_ int, x int64) int {
+			s.routeMu.Lock()
+			s.fallback++
+			si := e.router.Route(x, s.fallback, S, e.routerRNG)
+			s.routeMu.Unlock()
+			if si < 0 || si >= S {
+				panic("shard: router returned out-of-range shard")
+			}
+			return si
+		}
+	}
+}
+
+// Producer returns ingest lane i in [0, NumProducers).
+func (s *Serving) Producer(i int) *runtime.Producer { return s.pl.Producer(i) }
+
+// NumProducers returns the producer lane count.
+func (s *Serving) NumProducers() int { return s.pl.NumProducers() }
+
+// Rounds returns the number of elements accepted so far (offered into the
+// pipeline, applied or not).
+func (s *Serving) Rounds() int { return s.startRounds + int(s.pl.Offered()) }
+
+// AppliedRounds returns the number of elements already applied to shard
+// state — what the live queries see.
+func (s *Serving) AppliedRounds() int { return s.startRounds + int(s.pl.Applied()) }
+
+// Flush is the drain barrier: it returns once everything offered before the
+// call is applied to shard state, with the epoch stamping the moment.
+func (s *Serving) Flush() runtime.Epoch { return s.pl.Flush() }
+
+// Verdict returns the exact discrepancy of the union of the applied
+// substreams against the union of the per-shard samples, merging per-shard
+// histograms behind each shard's read barrier. It runs concurrently with
+// ingest: each shard's (substream, sample) pair is internally consistent,
+// with shards cut at slightly different points of the in-flight stream —
+// Flush first (or quiesce producers) for a cut covering everything offered.
+func (s *Serving) Verdict() setsystem.Discrepancy {
+	e := s.e
+	if e.cfg.NewSampler == nil {
+		panic("shard: Verdict requires samplers (routing-only engine)")
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if e.global == nil {
+		e.global = e.cfg.System.NewAccumulator()
+	}
+	e.global.Reset()
+	for i, sh := range e.shards {
+		s.pl.WithShard(i, func() {
+			e.withSampleSynced(sh, func() { e.global.MergeFrom(sh.acc) })
+		})
+	}
+	return e.global.Max()
+}
+
+// ShardVerdict returns shard i's local discrepancy. The shard is locked
+// only for a histogram copy (CopyFrom); the discrepancy scan runs on the
+// copy, outside the lock, so slow verdicts never stall that shard's ingest.
+func (s *Serving) ShardVerdict(i int) setsystem.Discrepancy {
+	e := s.e
+	sh := e.shards[i]
+	if sh.sampler == nil {
+		panic("shard: ShardVerdict requires samplers (routing-only engine)")
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.scratch == nil {
+		s.scratch = e.cfg.System.NewAccumulator()
+	}
+	s.pl.WithShard(i, func() {
+		e.withSampleSynced(sh, func() { s.scratch.CopyFrom(sh.acc) })
+	})
+	return s.scratch.Max()
+}
+
+// Sample returns a copy of the union of the per-shard samples, in shard
+// order, each shard read behind its barrier.
+func (s *Serving) Sample() []int64 {
+	var out []int64
+	for i, sh := range s.e.shards {
+		if sh.sampler == nil {
+			continue
+		}
+		s.pl.WithShard(i, func() { out = append(out, sh.sampler.View()...) })
+	}
+	return out
+}
+
+// SampleLen returns the union sample size.
+func (s *Serving) SampleLen() int {
+	n := 0
+	for i, sh := range s.e.shards {
+		if sh.sampler == nil {
+			continue
+		}
+		s.pl.WithShard(i, func() { n += sh.sampler.Len() })
+	}
+	return n
+}
+
+// ShardRounds returns the applied substream length of shard i.
+func (s *Serving) ShardRounds(i int) int {
+	n := 0
+	s.pl.WithShard(i, func() { n = s.e.shards[i].rounds })
+	return n
+}
+
+// GlobalSample draws a uniform size-k sample of the union of the applied
+// substreams from the per-shard samples alone ([CTW16] fan-in): per-shard
+// views and populations are copied behind the read barriers and merged
+// outside every lock. The caller owns r (pass a query-side RNG; the public
+// layer serializes it).
+func (s *Serving) GlobalSample(k int, r *rng.RNG) []int64 {
+	e := s.e
+	if e.cfg.NewSampler == nil {
+		panic("shard: GlobalSample requires samplers (routing-only engine)")
+	}
+	views := make([][]int64, len(e.shards))
+	pops := make([]int, len(e.shards))
+	for i, sh := range e.shards {
+		s.pl.WithShard(i, func() {
+			views[i] = append([]int64(nil), sh.sampler.View()...)
+			pops[i] = sh.rounds
+		})
+	}
+	return MergeGlobalSample(views, pops, k, r)
+}
+
+// Freeze runs fn with every shard lock held and routing paused: a single
+// cross-shard-consistent cut of the applied state. Offered-but-unapplied
+// elements wait in the rings and are excluded from the cut.
+func (s *Serving) Freeze(fn func()) runtime.Epoch {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	return s.pl.Freeze(fn)
+}
+
+// AppendState serializes the engine under a freeze (per-shard samplers,
+// accumulators and RNG streams, and the routing stream), first syncing the
+// engine's round counter to the applied count. For a cut that includes
+// everything offered — and, in deterministic mode, a routing-RNG state that
+// replays bit-exactly — Flush first and keep producers quiescent across the
+// call, the usual checkpoint sequence.
+func (s *Serving) AppendState(buf []byte) ([]byte, runtime.Epoch, error) {
+	var err error
+	out := buf
+	ep := s.Freeze(func() {
+		s.e.rounds = s.startRounds + int(s.pl.Applied())
+		out, err = AppendState(out, s.e)
+	})
+	return out, ep, err
+}
+
+// Close drains everything offered, stops the pipeline goroutines, and
+// syncs the engine's counters; afterwards the engine is safe for direct
+// serial use again. Close is idempotent. Producers racing with Close get
+// runtime.ErrClosed from their offers; accepted elements are never lost.
+func (s *Serving) Close() runtime.Epoch {
+	ep := s.pl.Close()
+	s.e.rounds = s.startRounds + int(s.pl.Applied())
+	return ep
+}

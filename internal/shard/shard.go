@@ -83,6 +83,7 @@ type Engine struct {
 	stream    []int64                // full routed stream when RecordStreams
 	rounds    int
 	unionBuf  []int64 // reused by SampleView
+	admitBuf  []int   // reused by OfferBatch's per-shard admitted counts
 }
 
 // New builds an engine from cfg, seeding it from root when root is non-nil.
@@ -207,7 +208,12 @@ func (e *Engine) offerTo(sh *shardState, x int64) bool {
 // because the samplers' batch paths and the accumulator are
 // chunking-invariant, identical no matter how the stream is sliced across
 // Ingest calls.
-func (e *Engine) Ingest(xs []int64) {
+func (e *Engine) Ingest(xs []int64) { e.OfferBatch(xs) }
+
+// OfferBatch is Ingest reporting how many elements entered some shard's
+// sample — the canonical bulk-ingest name, matching the public Sketch
+// contract.
+func (e *Engine) OfferBatch(xs []int64) int {
 	for _, x := range xs {
 		e.rounds++
 		si := e.router.Route(x, e.rounds, len(e.shards), e.routerRNG)
@@ -219,33 +225,53 @@ func (e *Engine) Ingest(xs []int64) {
 	if e.cfg.RecordStreams {
 		e.stream = append(e.stream, xs...)
 	}
+	if cap(e.admitBuf) < len(e.shards) {
+		e.admitBuf = make([]int, len(e.shards))
+	}
+	admitted := e.admitBuf[:len(e.shards)]
 	core.ForEachTrial(len(e.shards), e.cfg.Workers, func(i int) {
-		e.flush(e.shards[i])
+		admitted[i] = e.flush(e.shards[i])
 	})
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	return total
 }
 
-// flush ingests a shard's pending elements: the bulk path
+// flush ingests a shard's pending elements through applyShard and reports
+// how many were admitted.
+func (e *Engine) flush(sh *shardState) int {
+	n := e.applyShard(sh, sh.pending)
+	sh.pending = sh.pending[:0]
+	return n
+}
+
+// applyShard is the single-shard ingest step shared by the serial batch
+// path and the serving pipeline's consumer goroutines: the bulk path
 // (game.IngestBatchSynced — the same batch-delta sync the batched
 // continuous game uses, fused pass included) when the sampler supports it,
-// the per-element path otherwise.
-func (e *Engine) flush(sh *shardState) {
-	xs := sh.pending
+// the per-element path otherwise. It mutates only sh, so distinct shards
+// may be applied concurrently; results are invariant to how the shard's
+// routed substream is chunked across calls.
+func (e *Engine) applyShard(sh *shardState, xs []int64) int {
 	if len(xs) == 0 {
-		return
+		return 0
 	}
 	if sh.sampler == nil || sh.batch == nil || sh.deltas == nil {
+		n := 0
 		for _, x := range xs {
-			e.offerTo(sh, x)
+			if e.offerTo(sh, x) {
+				n++
+			}
 		}
-		sh.pending = sh.pending[:0]
-		return
+		return n
 	}
 	sh.rounds += len(xs)
 	if e.cfg.RecordStreams {
 		sh.stream = append(sh.stream, xs...)
 	}
-	game.IngestBatchSynced(sh.batch, sh.deltas, sh.acc, xs, sh.rng)
-	sh.pending = sh.pending[:0]
+	return game.IngestBatchSynced(sh.batch, sh.deltas, sh.acc, xs, sh.rng)
 }
 
 // Verdict returns the exact global discrepancy of the union stream against
@@ -366,15 +392,31 @@ func (e *Engine) GlobalSample(k int, r *rng.RNG) []int64 {
 	if e.cfg.NewSampler == nil {
 		panic("shard: GlobalSample requires samplers (routing-only engine)")
 	}
-	first := e.shards[0]
-	merged := append([]int64(nil), first.sampler.View()...)
-	pop := first.rounds
-	for _, sh := range e.shards[1:] {
+	views := make([][]int64, len(e.shards))
+	pops := make([]int, len(e.shards))
+	for i, sh := range e.shards {
+		views[i] = sh.sampler.View()
+		pops[i] = sh.rounds
+	}
+	return MergeGlobalSample(views, pops, k, r)
+}
+
+// MergeGlobalSample is the coordinator fan-in step of GlobalSample over
+// explicit per-shard (sample view, substream length) pairs: a uniform
+// without-replacement size-k sample of the union stream, clamped to the
+// available elements. The serving runtime calls it on copies taken behind
+// its read barriers, so the merge itself runs outside any shard lock. The
+// first view is consumed as the running merge's seed and must be mutable
+// (pass a copy of a live sampler view).
+func MergeGlobalSample(views [][]int64, pops []int, k int, r *rng.RNG) []int64 {
+	merged := append([]int64(nil), views[0]...)
+	pop := pops[0]
+	for i := 1; i < len(views); i++ {
 		// Keep the running merge as large as its sources allow so later
 		// merges retain enough represented mass.
-		want := len(merged) + sh.sampler.Len()
-		merged = sampler.MergeSamples(merged, pop, sh.sampler.View(), sh.rounds, want, r)
-		pop += sh.rounds
+		want := len(merged) + len(views[i])
+		merged = sampler.MergeSamples(merged, pop, views[i], pops[i], want, r)
+		pop += pops[i]
 	}
 	if k > len(merged) {
 		k = len(merged)

@@ -1,0 +1,286 @@
+// The public serving surface: Engine.Serve lifts a sharded engine into a
+// concurrent ingest session — many producer goroutines offering elements
+// through lock-free per-shard rings while monitors run live checkpoint
+// queries (Verdict, ShardVerdict, Sample, GlobalSample, Snapshot) behind
+// epoch-stamped read barriers, without ever stopping the stream.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"robustsample/internal/runtime"
+	ishard "robustsample/internal/shard"
+)
+
+// PipelineConfig sizes the concurrent ingest pipeline behind Serve.
+// The zero value is usable: one producer lane, live routing, default ring
+// and chunk sizes.
+type PipelineConfig struct {
+	// Producers is the number of ingest lanes; <= 0 selects 1. Each lane
+	// must be driven by at most one goroutine at a time; distinct lanes
+	// are fully independent.
+	Producers int
+	// RingSize bounds each lock-free ring (rounded up to a power of two);
+	// it is the backpressure mechanism — producers that outrun ingest
+	// block until consumers catch up. <= 0 selects 1024.
+	RingSize int
+	// ChunkCap caps how many elements a consumer applies per shard-lock
+	// hold; smaller values shorten query stalls, larger ones amortize
+	// locking. Results never depend on it. <= 0 selects 512.
+	ChunkCap int
+	// Deterministic selects sequenced routing: a router goroutine merges
+	// the lanes in round-robin order (lane 0's first element, lane 1's
+	// first, ..., lane 0's second, ...) and draws routing decisions
+	// serially — the exact serial-ingest code path — so a stream striped
+	// across lanes (lane p takes elements p, p+P, ...) yields
+	// byte-identical samples and verdicts to serial OfferBatch, for every
+	// producer count. Live mode (the default) maximizes throughput
+	// instead: producers route their own elements lock-free, and the
+	// ingested interleaving is whatever concurrency produced.
+	Deterministic bool
+}
+
+// WithPipeline configures the pipeline Serve starts (default: a one-lane
+// live pipeline).
+func WithPipeline(cfg PipelineConfig) Option {
+	return func(c *config) error {
+		if cfg.Producers < 0 {
+			return fmt.Errorf("shard: negative producer count %d", cfg.Producers)
+		}
+		c.pipeline = cfg
+		return nil
+	}
+}
+
+// Epoch stamps a serving read barrier: Seq increases with every barrier
+// taken, and Applied counts the elements applied to shard state when the
+// barrier completed.
+type Epoch struct {
+	Seq     uint64
+	Applied uint64
+}
+
+func fromRuntimeEpoch(e runtime.Epoch) Epoch { return Epoch{Seq: e.Seq, Applied: e.Applied} }
+
+// Serving is a live concurrent ingest session over an Engine. Feed it
+// through Producer lanes; every query method is safe for concurrent use
+// and runs against the session's read barriers while ingest continues.
+// Close drains the pipeline and returns the engine to serial use.
+type Serving[T any] struct {
+	e       *Engine[T]
+	inner   *ishard.Serving
+	prods   []*Producer[T]
+	qmu     sync.Mutex // guards coordRNG for GlobalSample and Snapshot
+	done    chan struct{}
+	once    sync.Once
+	closeEp runtime.Epoch
+}
+
+// Producer is one ingest lane of a Serving session, owned by one goroutine
+// at a time.
+type Producer[T any] struct {
+	s     *Serving[T]
+	inner *runtime.Producer
+	buf   []int64
+}
+
+// Serve starts a concurrent ingest session configured by WithPipeline.
+// While the session is open the engine's mutating methods (Offer,
+// OfferBatch/Ingest, MergeFrom, Restore; Reset is ignored) report
+// ErrServing, and its read methods (Verdict, ShardVerdict, Sample, Query,
+// GlobalSample, Snapshot, Rounds, ...) delegate to the session's read
+// barriers — so code holding the engine as a sketch.Sketch[T] keeps
+// working, live. Cancelling ctx closes the session in the background,
+// after which producers get ErrServingClosed. A closed session cannot be
+// restarted — call Serve again for a new one.
+func (e *Engine[T]) Serve(ctx context.Context) (*Serving[T], error) {
+	// Serialize Serve calls: a concurrent loser must not have started a
+	// second pipeline over the same shards.
+	e.serveMu.Lock()
+	defer e.serveMu.Unlock()
+	if e.srv.Load() != nil {
+		return nil, ErrServing
+	}
+	pcfg := e.cfg.pipeline
+	if pcfg.Producers <= 0 {
+		pcfg.Producers = 1
+	}
+	inner, err := e.inner.Serve(ishard.ServeConfig{
+		Producers:     pcfg.Producers,
+		RingSize:      pcfg.RingSize,
+		ChunkCap:      pcfg.ChunkCap,
+		Deterministic: pcfg.Deterministic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Serving[T]{e: e, inner: inner, done: make(chan struct{})}
+	s.prods = make([]*Producer[T], pcfg.Producers)
+	for i := range s.prods {
+		s.prods[i] = &Producer[T]{s: s, inner: inner.Producer(i)}
+	}
+	e.srv.Store(s)
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.done:
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Producer returns ingest lane i in [0, NumProducers).
+func (s *Serving[T]) Producer(i int) (*Producer[T], error) {
+	if i < 0 || i >= len(s.prods) {
+		return nil, ErrBadProducer
+	}
+	return s.prods[i], nil
+}
+
+// NumProducers returns the lane count.
+func (s *Serving[T]) NumProducers() int { return len(s.prods) }
+
+// Offer submits one element on this lane, blocking briefly under
+// backpressure. After the session closes it reports ErrServingClosed.
+func (p *Producer[T]) Offer(x T) error {
+	v, err := p.s.e.u.Encode(x)
+	if err != nil {
+		return err
+	}
+	if err := p.inner.Offer(v); err != nil {
+		return ErrServingClosed
+	}
+	return nil
+}
+
+// OfferBatch submits a run of consecutive elements on this lane. The batch
+// is atomic against encoding errors: if any element is outside the
+// universe, nothing is submitted.
+func (p *Producer[T]) OfferBatch(xs []T) error {
+	buf := p.buf[:0]
+	for _, x := range xs {
+		v, err := p.s.e.u.Encode(x)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, v)
+	}
+	p.buf = buf
+	if err := p.inner.OfferBatch(buf); err != nil {
+		return ErrServingClosed
+	}
+	return nil
+}
+
+// Close marks the lane done. In deterministic mode this removes it from
+// the sequencing rotation once drained; always close finished lanes so
+// Flush barriers cannot wait on them.
+func (p *Producer[T]) Close() { p.inner.Close() }
+
+// Flush is the drain barrier: it returns once every element offered before
+// the call has been applied to shard state.
+//
+// In deterministic mode the sequencer can only order elements lane by lane
+// in rotation, so Flush completes once the rotation can cover everything
+// offered — close lanes that are finished, or keep lanes evenly fed.
+func (s *Serving[T]) Flush() Epoch { return fromRuntimeEpoch(s.inner.Flush()) }
+
+// Rounds returns the number of elements accepted so far (applied or still
+// in flight).
+func (s *Serving[T]) Rounds() int { return s.inner.Rounds() }
+
+// AppliedRounds returns the number of elements already applied to shard
+// state — the cut the live queries see.
+func (s *Serving[T]) AppliedRounds() int { return s.inner.AppliedRounds() }
+
+// Verdict returns the exact discrepancy of the union of the applied
+// substreams against the union sample, concurrently with ingest: per-shard
+// histograms merge behind each shard's read barrier, so each shard's
+// (substream, sample) pair is internally consistent, with shards cut at
+// slightly different points of the in-flight stream. Flush first for a cut
+// covering everything offered.
+func (s *Serving[T]) Verdict() (Verdict[T], error) {
+	return s.e.decodeVerdict(s.inner.Verdict())
+}
+
+// ShardVerdict returns shard i's local discrepancy: the shard is locked
+// only long enough to copy its histograms; the scan runs on the copy.
+func (s *Serving[T]) ShardVerdict(i int) (Verdict[T], error) {
+	if i < 0 || i >= s.e.inner.NumShards() {
+		return Verdict[T]{}, ErrBadShardIndex
+	}
+	return s.e.decodeVerdict(s.inner.ShardVerdict(i))
+}
+
+// Sample returns a copy of the union sample, decoded, each shard read
+// behind its barrier.
+func (s *Serving[T]) Sample() []T {
+	ps := s.inner.Sample()
+	out := make([]T, len(ps))
+	for i, p := range ps {
+		x, err := s.e.u.Decode(p)
+		if err != nil {
+			panic(fmt.Sprintf("shard: sample holds undecodable point %d: %v", p, err))
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// SampleLen returns the union sample size.
+func (s *Serving[T]) SampleLen() int { return s.inner.SampleLen() }
+
+// GlobalSample draws a uniform size-k sample of the union of the applied
+// substreams from the per-shard samples alone ([CTW16] fan-in), clamped to
+// the available elements. Safe for concurrent use; coordinator randomness
+// is serialized on the engine's query stream.
+func (s *Serving[T]) GlobalSample(k int) ([]T, error) {
+	if k < 1 {
+		return nil, ErrBadSample
+	}
+	s.qmu.Lock()
+	ps := s.inner.GlobalSample(k, s.e.coordRNG)
+	s.qmu.Unlock()
+	out := make([]T, len(ps))
+	for i, p := range ps {
+		x, err := s.e.u.Decode(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// Snapshot serializes the engine under a freeze: a single
+// cross-shard-consistent cut of the applied state, in exactly the format
+// of Engine.Snapshot. For a checkpoint covering everything offered — and,
+// in deterministic mode, a routing stream that replays bit-exactly — Flush
+// first and keep producers quiescent across the call.
+func (s *Serving[T]) Snapshot() ([]byte, error) {
+	s.qmu.Lock()
+	hi, lo := s.e.coordRNG.State()
+	s.qmu.Unlock()
+	out, _, err := s.inner.AppendState(s.e.snapPreamble(hi, lo))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close drains everything offered, stops the pipeline, and returns the
+// engine to serial use. It is idempotent; the drain epoch of the first
+// close is returned every time.
+func (s *Serving[T]) Close() Epoch {
+	s.once.Do(func() {
+		s.closeEp = s.inner.Close()
+		s.e.srv.Store(nil)
+		close(s.done)
+	})
+	return fromRuntimeEpoch(s.closeEp)
+}

@@ -1,0 +1,353 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+	"testing"
+
+	"robustsample/shard"
+	"robustsample/sketch"
+)
+
+func servingUniverse(t *testing.T) sketch.Universe[int64] {
+	t.Helper()
+	u, err := sketch.NewInt64Range(1, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func servingValues(n int) []int64 {
+	xs := make([]int64, n)
+	v := int64(12345)
+	for i := range xs {
+		v = (v*6364136223846793005 + 1442695040888963407) >> 1
+		if v < 0 {
+			v = -v
+		}
+		xs[i] = v%(1<<14) + 1
+		if v == 0 {
+			v = 1
+		}
+	}
+	return xs
+}
+
+// TestServeDeterministicMatchesSerial strides one stream across P public
+// producer lanes in deterministic mode and checks byte-identical samples
+// and verdicts against serial OfferBatch.
+func TestServeDeterministicMatchesSerial(t *testing.T) {
+	u := servingUniverse(t)
+	stream := servingValues(4000)
+	for _, P := range []int{1, 2, 4} {
+		mk := func(pipe shard.PipelineConfig) *shard.Engine[int64] {
+			e, err := shard.New(u,
+				shard.WithShards(3), shard.WithReservoir(32), shard.WithSeed(42),
+				shard.WithWorkers(1), shard.WithPipeline(pipe))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		serial := mk(shard.PipelineConfig{})
+		if _, err := serial.OfferBatch(stream); err != nil {
+			t.Fatal(err)
+		}
+		wantV, err := serial.Verdict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSample := serial.Sample()
+
+		eng := mk(shard.PipelineConfig{Producers: P, Deterministic: true})
+		srv, err := eng.Serve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(P)
+		for lane := 0; lane < P; lane++ {
+			go func(lane int) {
+				defer wg.Done()
+				pr, err := srv.Producer(lane)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for g := lane; g < len(stream); g += P {
+					if err := pr.Offer(stream[g]); err != nil {
+						t.Errorf("lane %d: %v", lane, err)
+						return
+					}
+				}
+				pr.Close()
+			}(lane)
+		}
+		wg.Wait()
+		srv.Flush()
+		gotV, err := srv.Verdict()
+		if err != nil {
+			t.Fatalf("P=%d: live Verdict: %v", P, err)
+		}
+		gotSample := srv.Sample()
+		srv.Close()
+		if gotV != wantV {
+			t.Fatalf("P=%d: serving verdict %+v, serial %+v", P, gotV, wantV)
+		}
+		if !slices.Equal(gotSample, wantSample) {
+			t.Fatalf("P=%d: serving sample diverged from serial", P)
+		}
+		// After Close, direct engine use resumes and sees the same state.
+		postV, err := eng.Verdict()
+		if err != nil {
+			t.Fatalf("P=%d: post-Close Verdict: %v", P, err)
+		}
+		if postV != wantV {
+			t.Fatalf("P=%d: post-Close verdict %+v, want %+v", P, postV, wantV)
+		}
+	}
+}
+
+// TestServeGuardsDirectUse pins the direct-engine contract while a session
+// is open: mutating methods report ErrServing, read methods delegate to
+// the live session's barriers, and everything recovers after Close.
+func TestServeGuardsDirectUse(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(2), shard.WithReservoir(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Offer(1); !errors.Is(err, shard.ErrServing) {
+		t.Errorf("Offer while serving: %v, want ErrServing", err)
+	}
+	if _, err := e.OfferBatch([]int64{1}); !errors.Is(err, shard.ErrServing) {
+		t.Errorf("OfferBatch while serving: %v, want ErrServing", err)
+	}
+	if err := e.Restore(nil); !errors.Is(err, shard.ErrServing) {
+		t.Errorf("Restore while serving: %v, want ErrServing", err)
+	}
+	if _, err := e.Serve(context.Background()); !errors.Is(err, shard.ErrServing) {
+		t.Errorf("second Serve: %v, want ErrServing", err)
+	}
+
+	// Reads delegate to the live session while producers run.
+	pr, err := srv.Producer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.OfferBatch(servingValues(300)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	if _, err := e.Verdict(); err != nil {
+		t.Errorf("Verdict while serving (live delegate): %v", err)
+	}
+	if _, err := e.GlobalSample(4); err != nil {
+		t.Errorf("GlobalSample while serving (live delegate): %v", err)
+	}
+	if got := e.Rounds(); got != 300 {
+		t.Errorf("Rounds while serving = %d, want 300", got)
+	}
+	if got, want := e.SampleLen(), len(e.Sample()); got != want {
+		t.Errorf("SampleLen %d != len(Sample) %d while serving", got, want)
+	}
+	if _, err := e.Query(1, 1<<14); err != nil {
+		t.Errorf("Query while serving (live delegate): %v", err)
+	}
+	srv.Close()
+	if _, err := e.Offer(1); err != nil {
+		t.Errorf("Offer after Close: %v", err)
+	}
+}
+
+// TestServeContextCancel closes the session via context; producers then get
+// ErrServingClosed and nothing accepted is lost.
+func TestServeContextCancel(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(2), shard.WithReservoir(8),
+		shard.WithPipeline(shard.PipelineConfig{Producers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := e.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := srv.Producer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.OfferBatch(servingValues(500)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The watcher closes asynchronously; wait for the rejection to appear.
+	for i := 0; ; i++ {
+		if err := pr.Offer(1); err != nil {
+			if !errors.Is(err, shard.ErrServingClosed) {
+				t.Fatalf("post-cancel Offer error = %v, want ErrServingClosed", err)
+			}
+			break
+		}
+		if i > 1_000_000 {
+			t.Fatal("producer never observed the cancelled session")
+		}
+	}
+	srv.Close() // idempotent with the watcher's close
+	if got := e.Rounds(); got < 500 {
+		t.Fatalf("engine lost accepted elements: rounds %d, want >= 500", got)
+	}
+}
+
+// TestServeSnapshotMatchesSerial takes a snapshot through the live session
+// at a flush barrier and checks it restores into an engine identical to
+// one built serially.
+func TestServeSnapshotMatchesSerial(t *testing.T) {
+	u := servingUniverse(t)
+	stream := servingValues(3000)
+	opts := []shard.Option{shard.WithShards(2), shard.WithReservoir(16), shard.WithSeed(7), shard.WithWorkers(1)}
+
+	serial, err := shard.New(u, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.OfferBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := shard.New(u, append(opts, shard.WithPipeline(shard.PipelineConfig{Deterministic: true}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := live.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := srv.Producer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.OfferBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	got, err := srv.Snapshot() // via the session's freeze barrier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDirect, err := live.Snapshot(); err != nil || !slices.Equal(got, gotDirect) {
+		t.Fatalf("Engine.Snapshot while serving diverged from Serving.Snapshot (err=%v)", err)
+	}
+	srv.Close()
+	if !slices.Equal(got, want) {
+		t.Fatal("snapshot through the live session differs from the serial engine's")
+	}
+}
+
+// TestEngineMergeFrom checks the public engine fan-in and its
+// compatibility gates.
+func TestEngineMergeFrom(t *testing.T) {
+	u := servingUniverse(t)
+	mk := func(seed uint64, opts ...shard.Option) *shard.Engine[int64] {
+		e, err := shard.New(u, append([]shard.Option{shard.WithShards(2), shard.WithSeed(seed), shard.WithWorkers(1)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := mk(1, shard.WithReservoir(24))
+	b := mk(2, shard.WithReservoir(24))
+	sa, sb := servingValues(2000), servingValues(1500)
+	if _, err := a.OfferBatch(sa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OfferBatch(sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatalf("MergeFrom: %v", err)
+	}
+	if got, want := a.Rounds(), len(sa)+len(sb); got != want {
+		t.Errorf("merged Rounds = %d, want %d", got, want)
+	}
+	if _, err := a.Verdict(); err != nil {
+		t.Errorf("merged Verdict: %v", err)
+	}
+
+	// Gates.
+	c := mk(3, shard.WithReservoir(8))
+	d := mk(4, shard.WithBernoulli(0.1))
+	if err := c.MergeFrom(d); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Errorf("mixed-sampler merge: %v, want ErrIncompatible", err)
+	}
+	l1 := mk(5, shard.WithReservoirL(8))
+	l2 := mk(6, shard.WithReservoirL(8))
+	if err := l1.MergeFrom(l2); !errors.Is(err, sketch.ErrUnsupportedMerge) {
+		t.Errorf("Algorithm L merge: %v, want ErrUnsupportedMerge", err)
+	}
+	var sk sketch.Sketch[int64]
+	sk, err := sketch.NewReservoir(u, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MergeFrom(sk); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Errorf("foreign-type merge: %v, want ErrIncompatible", err)
+	}
+}
+
+// TestEngineIsASketch drives the engine through the sketch.Sketch
+// interface alone.
+func TestEngineIsASketch(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(3), shard.WithReservoir(16), shard.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s sketch.Sketch[int64] = e
+	if _, err := s.Offer(7); err != nil {
+		t.Fatal(err)
+	}
+	admitted, err := s.OfferBatch(servingValues(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted < 1 {
+		t.Errorf("OfferBatch admitted %d, want >= 1", admitted)
+	}
+	if s.Rounds() != 401 {
+		t.Errorf("Rounds = %d, want 401", s.Rounds())
+	}
+	if got := s.Len(); got != len(s.View()) {
+		t.Errorf("Len %d != len(View) %d", got, len(s.View()))
+	}
+	den, err := s.Query(1, 1<<14)
+	if err != nil || den != 1 {
+		t.Errorf("Query(full universe) = %v, %v; want 1, nil", den, err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Rounds() != 0 {
+		t.Error("Reset did not clear rounds")
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != 401 {
+		t.Errorf("restored Rounds = %d, want 401", s.Rounds())
+	}
+}

@@ -25,6 +25,8 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"robustsample/internal/game"
 	"robustsample/internal/rng"
@@ -51,6 +53,13 @@ var (
 	ErrBadSnapshot = sketch.ErrBadSnapshot
 	// ErrBadSample reports a non-positive GlobalSample size.
 	ErrBadSample = errors.New("shard: global sample size must be >= 1")
+	// ErrServing reports a direct engine operation while a Serving session
+	// is open; Close the Serving first.
+	ErrServing = errors.New("shard: engine is serving; close the Serving handle first")
+	// ErrServingClosed reports an operation on a closed Serving session.
+	ErrServingClosed = errors.New("shard: serving session is closed")
+	// ErrBadProducer reports a producer lane index outside [0, Producers).
+	ErrBadProducer = errors.New("shard: producer lane index out of range")
 )
 
 // RouterKind selects how elements are routed to shards.
@@ -158,6 +167,7 @@ type config struct {
 	memory      int
 	rate        float64
 	samplerOpts int // how many sampler options were applied
+	pipeline    PipelineConfig
 }
 
 // Option configures New.
@@ -270,14 +280,24 @@ type Verdict[T any] struct {
 
 // Engine routes one stream of T across shards and answers global queries
 // by merging per-shard state. Build it with New; it is not safe for
-// concurrent use (parallelism is internal, across shards).
+// concurrent use directly (parallelism is internal, across shards) — for
+// concurrent producers and live queries, lift it into a serving session
+// with Serve.
+//
+// Engine implements sketch.Sketch[T]: Offer/OfferBatch feed the routed
+// stream, View/Len/Query read the union sample, and MergeFrom folds
+// another engine's shards in ([CTW16] fan-in, shard by shard).
 type Engine[T any] struct {
 	u        sketch.Universe[T]
 	cfg      config
 	inner    *ishard.Engine
 	coordRNG *rng.RNG // coordinator queries (GlobalSample) draw here
 	encBuf   []int64
+	srv      atomic.Pointer[Serving[T]] // non-nil while a serving session is open
+	serveMu  sync.Mutex                 // serializes Serve calls
 }
+
+var _ sketch.Sketch[int64] = (*Engine[int64])(nil)
 
 // New builds a sharded engine over u. Exactly one sampler option is
 // required; every other option has a default.
@@ -344,20 +364,43 @@ func (e *Engine[T]) seed() {
 // NumShards returns S.
 func (e *Engine[T]) NumShards() int { return e.inner.NumShards() }
 
-// Rounds returns the number of elements routed so far.
-func (e *Engine[T]) Rounds() int { return e.inner.Rounds() }
+// Rounds returns the number of elements routed so far. While a Serving
+// session is open it delegates to the session (elements accepted by the
+// pipeline, applied or not), like every other read method.
+func (e *Engine[T]) Rounds() int {
+	if s := e.srv.Load(); s != nil {
+		return s.Rounds()
+	}
+	return e.inner.Rounds()
+}
 
-// ShardRounds returns the length of shard i's substream.
+// ShardRounds returns the length of shard i's substream (behind the
+// session's read barrier while serving).
 func (e *Engine[T]) ShardRounds(i int) (int, error) {
 	if i < 0 || i >= e.inner.NumShards() {
 		return 0, ErrBadShardIndex
 	}
+	if s := e.srv.Load(); s != nil {
+		return s.inner.ShardRounds(i), nil
+	}
 	return e.inner.ShardRounds(i), nil
 }
 
-// Offer routes one element to its shard, returning the destination and
-// whether that shard's sampler admitted it.
-func (e *Engine[T]) Offer(x T) (shardIdx int, admitted bool, err error) {
+// Offer routes one element to its shard, reporting whether that shard's
+// sampler admitted it (the sketch.Sketch contract). Use OfferRouted when
+// the destination shard matters.
+func (e *Engine[T]) Offer(x T) (admitted bool, err error) {
+	_, admitted, err = e.OfferRouted(x)
+	return admitted, err
+}
+
+// OfferRouted is Offer additionally reporting the destination shard — the
+// adaptive path, where a client sees both before choosing its next
+// element.
+func (e *Engine[T]) OfferRouted(x T) (shardIdx int, admitted bool, err error) {
+	if e.srv.Load() != nil {
+		return 0, false, ErrServing
+	}
 	p, err := e.u.Encode(x)
 	if err != nil {
 		return 0, false, err
@@ -366,23 +409,34 @@ func (e *Engine[T]) Offer(x T) (shardIdx int, admitted bool, err error) {
 	return shardIdx, admitted, nil
 }
 
-// Ingest routes a run of consecutive elements, fanning per-shard ingest
-// across the worker pool. The result is byte-identical for every worker
-// count and invariant to how the stream is sliced into Ingest calls. The
-// batch is atomic: if any element is outside the universe, nothing is
-// ingested.
-func (e *Engine[T]) Ingest(xs []T) error {
+// OfferBatch routes a run of consecutive elements, fanning per-shard
+// ingest across the worker pool, and reports how many entered some shard's
+// sample. The result is byte-identical for every worker count and
+// invariant to how the stream is sliced into batches. The batch is atomic:
+// if any element is outside the universe, nothing is ingested.
+func (e *Engine[T]) OfferBatch(xs []T) (int, error) {
+	if e.srv.Load() != nil {
+		return 0, ErrServing
+	}
 	buf := e.encBuf[:0]
 	for _, x := range xs {
 		p, err := e.u.Encode(x)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		buf = append(buf, p)
 	}
 	e.encBuf = buf
-	e.inner.Ingest(buf)
-	return nil
+	return e.inner.OfferBatch(buf), nil
+}
+
+// Ingest routes a run of consecutive elements.
+//
+// Deprecated: Ingest is OfferBatch without the admitted count; it remains
+// as a thin alias for source compatibility.
+func (e *Engine[T]) Ingest(xs []T) error {
+	_, err := e.OfferBatch(xs)
+	return err
 }
 
 // decodeVerdict maps an internal discrepancy to the decoded form.
@@ -409,6 +463,10 @@ func (e *Engine[T]) decodeVerdict(d setsystem.Discrepancy) (Verdict[T], error) {
 // one-shot verdict on the concatenated stream, for every routing mode,
 // shard count and worker count.
 func (e *Engine[T]) Verdict() (Verdict[T], error) {
+	if s := e.srv.Load(); s != nil {
+		// Reads delegate to the live session's barriers.
+		return s.Verdict()
+	}
 	return e.decodeVerdict(e.inner.Verdict())
 }
 
@@ -416,6 +474,9 @@ func (e *Engine[T]) Verdict() (Verdict[T], error) {
 // its own sample. A shard can be locally representative while the union is
 // not, and vice versa.
 func (e *Engine[T]) ShardVerdict(i int) (Verdict[T], error) {
+	if s := e.srv.Load(); s != nil {
+		return s.ShardVerdict(i)
+	}
 	if i < 0 || i >= e.inner.NumShards() {
 		return Verdict[T]{}, ErrBadShardIndex
 	}
@@ -423,9 +484,14 @@ func (e *Engine[T]) ShardVerdict(i int) (Verdict[T], error) {
 }
 
 // Sample returns the union of the per-shard samples, decoded, in shard
-// order.
+// order (behind the session's read barriers while serving).
 func (e *Engine[T]) Sample() []T {
-	ps := e.inner.SampleView()
+	var ps []int64
+	if s := e.srv.Load(); s != nil {
+		ps = s.inner.Sample()
+	} else {
+		ps = e.inner.SampleView()
+	}
 	out := make([]T, len(ps))
 	for i, p := range ps {
 		x, err := e.u.Decode(p)
@@ -438,13 +504,95 @@ func (e *Engine[T]) Sample() []T {
 }
 
 // SampleLen returns the union sample size.
-func (e *Engine[T]) SampleLen() int { return e.inner.SampleLen() }
+func (e *Engine[T]) SampleLen() int {
+	if s := e.srv.Load(); s != nil {
+		return s.SampleLen()
+	}
+	return e.inner.SampleLen()
+}
+
+// View implements sketch.Sketch: the union sample, decoded (an alias of
+// Sample under the unified interface's name).
+func (e *Engine[T]) View() []T { return e.Sample() }
+
+// Len implements sketch.Sketch: the union sample size.
+func (e *Engine[T]) Len() int { return e.SampleLen() }
+
+// Query implements sketch.Sketch: the union sample's density on the closed
+// range [lo, hi] in universe order — the quantity the robustness theorems
+// bound against the union stream's density.
+func (e *Engine[T]) Query(lo, hi T) (float64, error) {
+	elo, err := e.u.Encode(lo)
+	if err != nil {
+		return 0, err
+	}
+	ehi, err := e.u.Encode(hi)
+	if err != nil {
+		return 0, err
+	}
+	if elo > ehi {
+		return 0, fmt.Errorf("%w: lo sorts after hi", sketch.ErrBadRange)
+	}
+	var view []int64
+	if s := e.srv.Load(); s != nil {
+		view = s.inner.Sample()
+	} else {
+		view = e.inner.SampleView()
+	}
+	if len(view) == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	in := 0
+	for _, p := range view {
+		if p >= elo && p <= ehi {
+			in++
+		}
+	}
+	return float64(in) / float64(len(view)), nil
+}
+
+// MergeFrom implements sketch.Sketch: it folds another engine's complete
+// state into the receiver, shard by shard — the [CTW16] coordinator fan-in
+// lifted to whole engines, so two engines that sampled disjoint streams
+// (two processes, two data centers) collapse into one whose verdicts and
+// samples describe the union traffic. Shard i of the donor merges into
+// shard i of the receiver: reservoirs by population-weighted interleave,
+// Bernoulli samplers by union; Algorithm L reservoirs cannot merge without
+// bias and report ErrUnsupportedMerge. Both engines must share the shard
+// count, sampler shape, set system and universe size (routing may differ);
+// the donor is not modified.
+func (e *Engine[T]) MergeFrom(other sketch.Sketch[T]) error {
+	o, ok := other.(*Engine[T])
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *Engine", sketch.ErrIncompatible, other)
+	}
+	if e.srv.Load() != nil || o.srv.Load() != nil {
+		return ErrServing
+	}
+	if e.u.Size() != o.u.Size() {
+		return fmt.Errorf("%w: universe sizes %d and %d", sketch.ErrIncompatible, e.u.Size(), o.u.Size())
+	}
+	if e.cfg.sampler == samplerReservoirL {
+		return fmt.Errorf("%w: Algorithm L skip state is not mergeable", sketch.ErrUnsupportedMerge)
+	}
+	if e.cfg.shards != o.cfg.shards || e.cfg.system != o.cfg.system ||
+		e.cfg.sampler != o.cfg.sampler || e.cfg.memory != o.cfg.memory || e.cfg.rate != o.cfg.rate {
+		return fmt.Errorf("%w: engine configurations differ", sketch.ErrIncompatible)
+	}
+	if err := e.inner.MergeFromEngine(o.inner); err != nil {
+		return fmt.Errorf("%w: %v", sketch.ErrIncompatible, err)
+	}
+	return nil
+}
 
 // GlobalSample draws a uniform without-replacement sample of size k of the
 // union stream from the per-shard samples alone ([CTW16] fan-in), clamped
 // to the available sampled elements. Coordinator queries draw from their
 // own RNG stream, so they never perturb routing or sampling.
 func (e *Engine[T]) GlobalSample(k int) ([]T, error) {
+	if s := e.srv.Load(); s != nil {
+		return s.GlobalSample(k)
+	}
 	if k < 1 {
 		return nil, ErrBadSample
 	}
@@ -461,24 +609,40 @@ func (e *Engine[T]) GlobalSample(k int) ([]T, error) {
 }
 
 // Reset clears the engine for a fresh stream and re-derives its RNG tree
-// from the configured seed, so a Reset engine replays identically.
-func (e *Engine[T]) Reset() { e.seed() }
+// from the configured seed, so a Reset engine replays identically. While a
+// Serving session is open Reset is ignored — close the session first.
+func (e *Engine[T]) Reset() {
+	if e.srv.Load() != nil {
+		return
+	}
+	e.seed()
+}
 
 // Snapshot serializes the complete engine state — coordinator counters and
 // RNG, and every shard's RNG, sampler and accumulator — as a versioned
 // deterministic byte string. Snapshotting a restored engine reproduces the
 // bytes bit for bit.
 func (e *Engine[T]) Snapshot() ([]byte, error) {
-	buf := sketch.AppendFrameHeader(nil, sketch.FrameShard)
-	buf = snapshot.AppendInt64(buf, e.u.Size())
+	if s := e.srv.Load(); s != nil {
+		// A live session snapshots through its own read barrier.
+		return s.Snapshot()
+	}
 	hi, lo := e.coordRNG.State()
-	buf = snapshot.AppendUint64(buf, hi)
-	buf = snapshot.AppendUint64(buf, lo)
-	out, err := ishard.AppendState(buf, e.inner)
+	out, err := ishard.AppendState(e.snapPreamble(hi, lo), e.inner)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// snapPreamble builds the snapshot preamble — frame header, universe size,
+// coordinator RNG state — shared byte-for-byte by the serial path above and
+// the serving session's frozen Snapshot, so the two formats cannot drift.
+func (e *Engine[T]) snapPreamble(hi, lo uint64) []byte {
+	buf := sketch.AppendFrameHeader(nil, sketch.FrameShard)
+	buf = snapshot.AppendInt64(buf, e.u.Size())
+	buf = snapshot.AppendUint64(buf, hi)
+	return snapshot.AppendUint64(buf, lo)
 }
 
 // Restore replaces the engine's state with a snapshot produced by an
@@ -486,6 +650,9 @@ func (e *Engine[T]) Snapshot() ([]byte, error) {
 // system, universe size — verified structurally). On error the engine
 // state is unspecified; Reset recovers a usable empty engine.
 func (e *Engine[T]) Restore(data []byte) error {
+	if e.srv.Load() != nil {
+		return ErrServing
+	}
 	r, err := sketch.ReadFrameHeader(data, sketch.FrameShard)
 	if err != nil {
 		return err

@@ -60,8 +60,8 @@ func TestValidation(t *testing.T) {
 	if _, err := e.GlobalSample(0); !errors.Is(err, shard.ErrBadSample) {
 		t.Fatalf("k=0 err = %v, want ErrBadSample", err)
 	}
-	if _, _, err := e.Offer(0); !errors.Is(err, sketch.ErrOutOfUniverse) {
-		t.Fatalf("Offer(0) err = %v, want ErrOutOfUniverse", err)
+	if _, _, err := e.OfferRouted(0); !errors.Is(err, sketch.ErrOutOfUniverse) {
+		t.Fatalf("OfferRouted(0) err = %v, want ErrOutOfUniverse", err)
 	}
 	if err := e.Ingest([]int64{1, 2, 2000}); !errors.Is(err, sketch.ErrOutOfUniverse) {
 		t.Fatalf("Ingest err = %v, want ErrOutOfUniverse", err)

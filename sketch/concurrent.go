@@ -1,0 +1,120 @@
+package sketch
+
+import "sync"
+
+// Concurrent lifts any Sketch[T] into a goroutine-safe one: offers, merges
+// and restores serialize behind a write lock while reads (View, Len,
+// Rounds, Query, Snapshot) share a read lock, so monitors can query a
+// sketch that other goroutines are feeding. Semantics, determinism and
+// snapshot bytes are exactly the wrapped sketch's — Concurrent adds only
+// the synchronization.
+//
+// For sharded, pipelined ingest at higher throughput use
+// robustsample/shard's Engine.Serve, which avoids a global lock entirely;
+// Concurrent is the right tool when one sketch is shared by a handful of
+// goroutines and simplicity wins.
+type Concurrent[T any] struct {
+	mu    sync.RWMutex
+	inner Sketch[T]
+}
+
+var _ Sketch[int64] = (*Concurrent[int64])(nil)
+
+// NewConcurrent wraps s. The caller must not use s directly afterwards
+// (reach it through Do when single-sketch operations are not enough).
+func NewConcurrent[T any](s Sketch[T]) (*Concurrent[T], error) {
+	if s == nil {
+		return nil, ErrNilSketch
+	}
+	return &Concurrent[T]{inner: s}, nil
+}
+
+// Do runs fn with exclusive access to the wrapped sketch, for compound
+// operations that must be atomic (e.g. a query after a conditional merge).
+// fn must not retain the sketch.
+func (c *Concurrent[T]) Do(fn func(Sketch[T])) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.inner)
+}
+
+// Offer implements Sketch.
+func (c *Concurrent[T]) Offer(x T) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Offer(x)
+}
+
+// OfferBatch implements Sketch; the batch is applied atomically with
+// respect to every other method.
+func (c *Concurrent[T]) OfferBatch(xs []T) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.OfferBatch(xs)
+}
+
+// View implements Sketch.
+func (c *Concurrent[T]) View() []T {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.View()
+}
+
+// Len implements Sketch.
+func (c *Concurrent[T]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.Len()
+}
+
+// Rounds implements Sketch.
+func (c *Concurrent[T]) Rounds() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.Rounds()
+}
+
+// Query implements Sketch.
+func (c *Concurrent[T]) Query(lo, hi T) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.Query(lo, hi)
+}
+
+// MergeFrom implements Sketch. When other is itself a *Concurrent, its read
+// lock is taken after the receiver's write lock; two sketches merging from
+// each other simultaneously can therefore deadlock — order such mutual
+// fan-ins externally.
+func (c *Concurrent[T]) MergeFrom(other Sketch[T]) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if oc, ok := other.(*Concurrent[T]); ok {
+		oc.mu.RLock()
+		defer oc.mu.RUnlock()
+		return c.inner.MergeFrom(oc.inner)
+	}
+	return c.inner.MergeFrom(other)
+}
+
+// Reset implements Sketch.
+func (c *Concurrent[T]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Reset()
+}
+
+// Snapshot implements Sketch; the bytes are the wrapped sketch's, so a
+// snapshot taken through Concurrent restores into the bare type and vice
+// versa.
+func (c *Concurrent[T]) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.Snapshot()
+}
+
+// Restore implements Sketch.
+func (c *Concurrent[T]) Restore(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Restore(data)
+}

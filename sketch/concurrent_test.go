@@ -1,0 +1,169 @@
+package sketch_test
+
+import (
+	"slices"
+	"sync"
+	"testing"
+
+	"robustsample/sketch"
+)
+
+func TestConcurrentMatchesBare(t *testing.T) {
+	u, err := sketch.NewInt64Range(1, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := sketch.NewReservoir(u, 32, sketch.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := sketch.NewReservoir(u, 32, sketch.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sketch.NewConcurrent[int64](inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5000; i++ {
+		if _, err := bare.Offer(i%1000 + 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Offer(i%1000 + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !slices.Equal(bare.View(), c.View()) {
+		t.Fatal("Concurrent wrapper changed the sample")
+	}
+	if bare.Rounds() != c.Rounds() || bare.Len() != c.Len() {
+		t.Fatal("Concurrent wrapper changed the counters")
+	}
+	bs, err := bare.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(bs, cs) {
+		t.Fatal("Concurrent snapshot bytes differ from the bare sketch's")
+	}
+}
+
+func TestConcurrentNilInner(t *testing.T) {
+	if _, err := sketch.NewConcurrent[int64](nil); err == nil {
+		t.Fatal("NewConcurrent accepted a nil sketch")
+	}
+}
+
+// TestConcurrentParallelOfferAndQuery hammers one wrapped sketch from
+// several offering and querying goroutines; correctness here is "no race,
+// no panic, and conservation of the round counter".
+func TestConcurrentParallelOfferAndQuery(t *testing.T) {
+	u, err := sketch.NewInt64Range(1, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := sketch.NewBernoulli(u, 0.1, sketch.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sketch.NewConcurrent[int64](inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.View()
+				_ = c.Len()
+				if _, err := c.Query(1, 1<<15); err != nil && err != sketch.ErrEmpty {
+					t.Errorf("Query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			batch := make([]int64, 0, 64)
+			for i := 0; i < perWriter; i++ {
+				batch = append(batch, int64(w*perWriter+i)%5000+1)
+				if len(batch) == cap(batch) {
+					if _, err := c.OfferBatch(batch); err != nil {
+						t.Errorf("OfferBatch: %v", err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := c.OfferBatch(batch); err != nil {
+				t.Errorf("OfferBatch: %v", err)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Rounds(); got != writers*perWriter {
+		t.Fatalf("Rounds = %d, want %d (offers lost)", got, writers*perWriter)
+	}
+}
+
+// TestConcurrentMergeFrom merges a concurrent-wrapped donor into a
+// concurrent-wrapped receiver.
+func TestConcurrentMergeFrom(t *testing.T) {
+	u, err := sketch.NewInt64Range(1, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed uint64) *sketch.Concurrent[int64] {
+		inner, err := sketch.NewBernoulli(u, 0.2, sketch.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := sketch.NewConcurrent[int64](inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(1), mk(2)
+	for i := int64(1); i <= 1000; i++ {
+		a.Offer(i)
+		b.Offer(i + 1000)
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatalf("MergeFrom(concurrent): %v", err)
+	}
+	if got := a.Rounds(); got != 2000 {
+		t.Fatalf("merged Rounds = %d, want 2000", got)
+	}
+	// Merging the bare inner type also works through the wrapper.
+	inner, err := sketch.NewBernoulli(u, 0.2, sketch.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Offer(7)
+	if err := a.MergeFrom(inner); err != nil {
+		t.Fatalf("MergeFrom(bare): %v", err)
+	}
+	if got := a.Rounds(); got != 2001 {
+		t.Fatalf("merged Rounds = %d, want 2001", got)
+	}
+}

@@ -50,6 +50,8 @@ import (
 var (
 	// ErrNilUniverse reports a nil Universe.
 	ErrNilUniverse = errors.New("sketch: universe must be non-nil")
+	// ErrNilSketch reports a nil Sketch where one is required (NewConcurrent).
+	ErrNilSketch = errors.New("sketch: wrapped sketch must be non-nil")
 	// ErrBadUniverse reports an unusable universe definition.
 	ErrBadUniverse = errors.New("sketch: invalid universe")
 	// ErrBadMemory reports a sample capacity below 1.
