@@ -1,0 +1,182 @@
+// Command benchdiff is the CI bench regression gate: it compares a fresh
+// `robustbench -json` measurement against the repository's committed perf
+// trajectory (the latest BENCH_PR*.json) and fails when a named hot path
+// regresses beyond the tolerance.
+//
+// Entries are matched by name AND measurement configuration (seed, trials,
+// scale, workers, shard/chunk/producer counts, modeled latency, element
+// count): two runs are comparable only when they measured the same thing.
+// Gated entries with no comparable baseline — a new benchmark, a new
+// producer point, a re-parameterized experiment — pass with a note; the
+// gate exists to catch regressions on paths the trajectory already tracks,
+// not to freeze the benchmark matrix.
+//
+// Usage:
+//
+//	robustbench -exp E5,E19 -json new.json
+//	benchdiff -new new.json                  # vs latest BENCH_PR*.json
+//	benchdiff -new new.json -baseline BENCH_PR6.json -tolerance 0.3
+//	benchdiff -new new.json -paths ConcurrentIngest,E5
+//
+// Exit status: 0 when every gated comparison is within tolerance, 1 on
+// regression, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"robustsample/internal/bench"
+)
+
+func main() {
+	var (
+		newPath   = flag.String("new", "", "fresh robustbench -json output to check (\"-\" = stdin)")
+		baseline  = flag.String("baseline", "", "baseline BENCH_*.json (empty = latest BENCH_PR*.json in -dir)")
+		dir       = flag.String("dir", ".", "directory searched for BENCH_PR*.json baselines")
+		paths     = flag.String("paths", "ConcurrentIngest,E5", "comma-separated gated entry names")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op regression fraction on gated paths")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fresh, err := loadResults(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	basePath := *baseline
+	if basePath == "" {
+		basePath, err = latestBaseline(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	base, err := loadResults(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	gated := make(map[string]bool)
+	for _, p := range strings.Split(*paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			gated[p] = true
+		}
+	}
+	report, regressed := diff(fresh, base, gated, *tolerance)
+	fmt.Printf("benchdiff: baseline %s\n", basePath)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if regressed {
+		fmt.Println("benchdiff: FAIL — gated hot path regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func loadResults(path string) ([]bench.BenchResult, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var results []bench.BenchResult
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return results, nil
+}
+
+var baselineRe = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBaseline returns the BENCH_PR*.json in dir with the highest PR
+// number — the most recent committed point of the perf trajectory.
+func latestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselineRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR*.json baseline in %s", dir)
+	}
+	return best, nil
+}
+
+// key identifies a measured configuration: entries compare only when the
+// name and every configuration parameter agree. The roofline fields
+// (bytes_per_elem, copy_gbps) are measurements, not configuration, and are
+// deliberately excluded.
+func key(r bench.BenchResult) string {
+	p := r.Params
+	return fmt.Sprintf("%s|seed=%d|trials=%d|scale=%g|workers=%d|shards=%d|chunk=%d|producers=%d|latency=%d|n=%d",
+		r.Name, p.Seed, p.Trials, p.Scale, p.Workers, p.Shards, p.Chunk, p.Producers, p.LatencyNs, p.N)
+}
+
+// label renders a short human identifier for a result.
+func label(r bench.BenchResult) string {
+	if r.Params.Producers > 0 {
+		return fmt.Sprintf("%s/P=%d", r.Name, r.Params.Producers)
+	}
+	return r.Name
+}
+
+// diff compares fresh gated entries against the baseline, returning the
+// report lines and whether any gated path regressed beyond tol.
+func diff(fresh, base []bench.BenchResult, gated map[string]bool, tol float64) ([]string, bool) {
+	byKey := make(map[string]bench.BenchResult, len(base))
+	for _, r := range base {
+		byKey[key(r)] = r
+	}
+	var report []string
+	regressed := false
+	for _, r := range fresh {
+		if !gated[r.Name] {
+			continue
+		}
+		old, ok := byKey[key(r)]
+		if !ok {
+			report = append(report, fmt.Sprintf("  %-24s %12d ns/op  (no comparable baseline — skipped)", label(r), r.NsPerOp))
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(old.NsPerOp)
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		report = append(report, fmt.Sprintf("  %-24s %12d -> %12d ns/op  (%+.1f%%)  %s",
+			label(r), old.NsPerOp, r.NsPerOp, (ratio-1)*100, verdict))
+	}
+	if len(report) == 0 {
+		report = append(report, "  (no gated entries in the fresh measurement)")
+	}
+	return report, regressed
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robustsample/internal/bench"
+)
+
+func entry(name string, ns int64, producers int) bench.BenchResult {
+	return bench.BenchResult{
+		Name:    name,
+		NsPerOp: ns,
+		Params: bench.BenchParams{
+			Seed: 1, Trials: 10, Scale: 1, Producers: producers,
+		},
+	}
+}
+
+func TestDiffGatesRegressions(t *testing.T) {
+	gated := map[string]bool{"ConcurrentIngest": true, "E5": true}
+	base := []bench.BenchResult{
+		entry("E5", 1000, 0),
+		entry("ConcurrentIngest", 500, 1),
+		entry("ConcurrentIngest", 100, 4),
+		entry("E7", 99, 0), // not gated
+	}
+
+	cases := []struct {
+		name     string
+		fresh    []bench.BenchResult
+		wantFail bool
+	}{
+		{"within tolerance", []bench.BenchResult{entry("E5", 1150, 0), entry("ConcurrentIngest", 550, 1)}, false},
+		{"improvement", []bench.BenchResult{entry("E5", 200, 0)}, false},
+		{"regression on E5", []bench.BenchResult{entry("E5", 1300, 0)}, true},
+		{"regression on one curve point", []bench.BenchResult{entry("ConcurrentIngest", 510, 1), entry("ConcurrentIngest", 130, 4)}, true},
+		{"ungated regressions pass", []bench.BenchResult{entry("E7", 9900, 0)}, false},
+		{"new point has no baseline", []bench.BenchResult{entry("ConcurrentIngest", 77, 32)}, false},
+		{"empty fresh run", nil, false},
+	}
+	for _, tc := range cases {
+		_, regressed := diff(tc.fresh, base, gated, 0.20)
+		if regressed != tc.wantFail {
+			t.Errorf("%s: regressed = %v, want %v", tc.name, regressed, tc.wantFail)
+		}
+	}
+}
+
+func TestDiffRequiresMatchingParams(t *testing.T) {
+	gated := map[string]bool{"E5": true}
+	base := []bench.BenchResult{entry("E5", 100, 0)}
+	fresh := entry("E5", 1000, 0)
+	fresh.Params.Scale = 0.2 // different configuration: incomparable
+	if _, regressed := diff([]bench.BenchResult{fresh}, base, gated, 0.20); regressed {
+		t.Fatal("entries with different params must not be compared")
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR4.json", "BENCH_PR10.json", "BENCH_PR6.json", "BENCH.md", "BENCH_PRx.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_PR10.json"); got != want {
+		t.Fatalf("latestBaseline = %q, want %q", got, want)
+	}
+	if _, err := latestBaseline(t.TempDir()); err == nil {
+		t.Fatal("expected error for a directory without baselines")
+	}
+}

@@ -17,9 +17,11 @@
 //
 //	robustbench -all                 # run every experiment at full scale
 //	robustbench -exp E3              # run a single experiment
+//	robustbench -exp E5,E19          # run several experiments
 //	robustbench -list                # list experiment IDs and titles
 //	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7 -workers 4
 //	robustbench -exp E18 -shards 16  # sharded engine at S=16
+//	robustbench -exp E19 -producers 1,2,4,8,16,32  # serving scaling curve
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -29,6 +31,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"robustsample/internal/bench"
 	"robustsample/internal/game"
@@ -37,7 +41,7 @@ import (
 func main() {
 	var (
 		all        = flag.Bool("all", false, "run every experiment")
-		exp        = flag.String("exp", "", "run a single experiment by ID (E1..E19)")
+		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E19)")
 		fig        = flag.String("fig", "", "render a figure by ID (F1, F2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
@@ -46,7 +50,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs, 1 = serial)")
 		chunk      = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
 		shards     = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
-		producers  = flag.Int("producers", 0, "producer-lane count for the concurrent serving experiment E19 (0 = sweep 1/2/4/8)")
+		producers  = flag.String("producers", "", "comma-separated producer-lane counts for the concurrent serving experiment E19, one measured point each (empty = sweep 1,2,4,8,16,32)")
 		jsonPath   = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -56,7 +60,12 @@ func main() {
 	if *chunk > 0 {
 		game.SpanChunkCap = *chunk
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: *producers}
+	lanes, err := parseIntList(*producers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "robustbench: -producers: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: lanes}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -106,17 +115,43 @@ func main() {
 		bench.RunAll(cfg, os.Stdout)
 		emitJSON(*jsonPath, cfg, bench.All(), *chunk)
 	case *exp != "":
-		e, ok := bench.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "robustbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+		var exps []bench.Experiment
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "robustbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
-		e.Run(cfg).Render(os.Stdout)
-		emitJSON(*jsonPath, cfg, []bench.Experiment{e}, *chunk)
+		for _, e := range exps {
+			e.Run(cfg).Render(os.Stdout)
+		}
+		emitJSON(*jsonPath, cfg, exps, *chunk)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive integers; an
+// empty string yields nil (the default sweep).
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("count %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // emitJSON measures the selected experiments once more under cfg and

@@ -42,11 +42,12 @@ type Config struct {
 	// configuration, so different values legitimately change the E18
 	// table (and only that table).
 	Shards int
-	// Producers pins the producer-lane count of the concurrent serving
-	// experiment (E19): 0 (the default) sweeps the reference ladder
-	// {1, 2, 4, 8}; any other value sweeps {1, Producers}. It affects only
-	// the E19 table and the ConcurrentIngest JSON curve.
-	Producers int
+	// Producers selects the producer-lane counts of the concurrent serving
+	// experiment (E19): nil or empty sweeps the reference ladder
+	// {1, 2, 4, 8, 16, 32}; an explicit list measures exactly those points
+	// in order. It affects only the E19 table and the ConcurrentIngest
+	// JSON curve (one entry per point).
+	Producers []int
 }
 
 // DefaultConfig is the reference configuration for the DESIGN.md tables.

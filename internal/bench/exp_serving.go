@@ -1,6 +1,7 @@
 package bench
 
 import (
+	stdruntime "runtime"
 	"slices"
 	"sync"
 	"time"
@@ -27,17 +28,27 @@ const (
 )
 
 // producerCounts returns the producer-lane sweep for the serving
-// experiment: the default ladder, or {1, Producers} when -producers pins an
-// explicit count (1 stays as the serial baseline).
+// experiment: the default ladder, or exactly the points listed in
+// Config.Producers (robustbench -producers 1,2,4).
 func (c Config) producerCounts() []int {
-	if c.Producers <= 0 {
-		return []int{1, 2, 4, 8}
+	if len(c.Producers) == 0 {
+		return []int{1, 2, 4, 8, 16, 32}
 	}
-	if c.Producers == 1 {
-		return []int{1}
-	}
-	return []int{1, c.Producers}
+	return c.Producers
 }
+
+// servingBytesPerElem is the modeled per-element memory traffic of the
+// live-mode ingest path, the numerator of the roofline figure recorded in
+// the ConcurrentIngest JSON entries. Each 8-byte element is, in order:
+// read from the producer's stream slice (8); routed into the destination
+// scratch (8w+8r); appended to a per-shard bucket (8w+8r); written to a
+// ring cell and its sequence word published (16w), then both read back by
+// the consumer (16r); copied into the consumer's apply chunk (8w+8r); and
+// finally touched by the accumulator + reservoir admission (~16). Total
+// ~104 bytes of traffic per 8-byte element — the pipeline is
+// bandwidth-bound at roughly bytesPerElem / copyGBps ns/elem once
+// per-element CPU overhead is amortized away.
+const servingBytesPerElem = 104
 
 func servingEngine(root *rng.RNG) *shard.Engine {
 	return shard.New(shard.Config{
@@ -60,10 +71,23 @@ func servingStream(n int, seed uint64) []int64 {
 	return xs
 }
 
+// pace blocks until deadline with cooperative yields instead of
+// time.Sleep. On the 1-CPU reference container the timer wheel makes a
+// 250us Sleep overshoot to ~1.2ms, which silently dominated the
+// single-producer point of the scaling curve (the "589 ns/elem" of
+// BENCH_PR5.json was ~90% timer overshoot, not pipeline work); yielding
+// until the deadline keeps the modeled client latency honest while still
+// handing the CPU to consumers.
+func pace(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		stdruntime.Gosched()
+	}
+}
+
 // measureServingIngest drives one live-mode serving session at P producer
 // lanes over a dense-regime stream of ~n elements and returns the wall
 // time from first offer to drain barrier, plus the exact element count.
-// Producer lanes sleep servingLatency before each batch (the modeled
+// Producer lanes wait out servingLatency before each batch (the modeled
 // client round-trip), so the curve measures how the pipeline overlaps
 // client latency with ingest.
 func measureServingIngest(n, producers int) (elapsed time.Duration, total int) {
@@ -92,7 +116,7 @@ func measureServingIngest(n, producers int) (elapsed time.Duration, total int) {
 			xs := lanes[i]
 			for len(xs) > 0 {
 				m := min(servingBatch, len(xs))
-				time.Sleep(servingLatency) // client service round-trip
+				pace(time.Now().Add(servingLatency)) // client service round-trip
 				if err := pr.OfferBatch(xs[:m]); err != nil {
 					panic(err)
 				}

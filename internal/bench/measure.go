@@ -26,6 +26,15 @@ type BenchParams struct {
 	LatencyNs int64 `json:"latency_ns,omitempty"`
 	// N is the element count a ConcurrentIngest entry ingested.
 	N int `json:"n,omitempty"`
+	// BytesPerElem is the modeled per-element memory traffic of the live
+	// ingest path (see servingBytesPerElem) — the numerator of the
+	// roofline figure.
+	BytesPerElem int `json:"bytes_per_elem,omitempty"`
+	// CopyGBps is the machine's measured large-block copy bandwidth in
+	// GB/s, the roofline denominator: BytesPerElem / CopyGBps is the
+	// bandwidth floor in ns/elem that ns_per_op should approach as
+	// per-element CPU overhead is amortized away.
+	CopyGBps float64 `json:"copy_gbps,omitempty"`
 }
 
 // BenchResult is one machine-readable measurement: a full experiment run
@@ -73,15 +82,38 @@ func Measure(cfg Config, exps []Experiment, chunk int) []BenchResult {
 	return results
 }
 
+// measureCopyGBps measures the machine's large-block copy bandwidth (best
+// of a few 32 MiB copies), the roofline denominator recorded alongside the
+// ConcurrentIngest curve.
+func measureCopyGBps() float64 {
+	const size = 32 << 20
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	best := 0.0
+	for t := 0; t < 3; t++ {
+		start := time.Now()
+		copy(dst, src)
+		if gbps := float64(size) / time.Since(start).Seconds() / 1e9; gbps > best {
+			best = gbps
+		}
+	}
+	return best
+}
+
 // MeasureConcurrentIngest measures the dense-regime serving benchmark at
 // every producer count in the sweep and returns one ConcurrentIngest entry
 // per count: ns_per_op is wall-clock per ingested element (throughput =
-// 1e9 / ns_per_op elements/sec), with the lane count, element count and
-// the modeled per-batch client latency recorded in the params block. This
-// is the throughput-vs-producers scaling curve of the perf trajectory.
+// 1e9 / ns_per_op elements/sec), with the lane count, element count, the
+// modeled per-batch client latency, and the roofline pair (modeled
+// bytes/elem, measured copy GB/s) recorded in the params block. This is
+// the throughput-vs-producers scaling curve of the perf trajectory.
 func MeasureConcurrentIngest(cfg Config) []BenchResult {
 	tn := cfg.scaled(1<<18, 1<<13)
-	results := make([]BenchResult, 0, 4)
+	copyGBps := measureCopyGBps()
+	results := make([]BenchResult, 0, 6)
 	for _, P := range cfg.producerCounts() {
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -94,13 +126,15 @@ func MeasureConcurrentIngest(cfg Config) []BenchResult {
 			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(total),
 			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(total),
 			Params: BenchParams{
-				Seed:      cfg.Seed,
-				Trials:    cfg.trials(),
-				Scale:     cfg.Scale,
-				Workers:   cfg.Workers,
-				Producers: P,
-				LatencyNs: servingLatency.Nanoseconds(),
-				N:         total,
+				Seed:         cfg.Seed,
+				Trials:       cfg.trials(),
+				Scale:        cfg.Scale,
+				Workers:      cfg.Workers,
+				Producers:    P,
+				LatencyNs:    servingLatency.Nanoseconds(),
+				N:            total,
+				BytesPerElem: servingBytesPerElem,
+				CopyGBps:     copyGBps,
 			},
 		})
 	}

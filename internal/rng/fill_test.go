@@ -1,0 +1,115 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// The bulk Fill methods replace per-call draws on the batch-ingest hot path.
+// Their contract is exact: filling a buffer must consume precisely one
+// generator step per emitted value (plus zero-rejection redraws for the
+// geometric), leaving the generator in the same state as the per-call loop.
+// These tests pin that bit-identity, including across chunk-boundary splits
+// of the same logical sequence, so bulk and per-call consumers can be mixed
+// freely without perturbing any golden table in the repository.
+
+// chunkSplits covers degenerate, prime-sized, and power-of-two chunkings.
+var chunkSplits = [][]int{
+	{64},
+	{1, 1, 1, 61},
+	{3, 7, 13, 41},
+	{32, 32},
+	{63, 1},
+}
+
+func TestFillUniform64MatchesUint64(t *testing.T) {
+	for _, split := range chunkSplits {
+		a := New(12345)
+		b := New(12345)
+		var bulk, calls []uint64
+		for _, n := range split {
+			buf := make([]uint64, n)
+			a.FillUniform64(buf)
+			bulk = append(bulk, buf...)
+		}
+		for range bulk {
+			calls = append(calls, b.Uint64())
+		}
+		for i := range bulk {
+			if bulk[i] != calls[i] {
+				t.Fatalf("split %v draw %d: bulk %#x, per-call %#x", split, i, bulk[i], calls[i])
+			}
+		}
+		assertSameState(t, a, b)
+	}
+}
+
+func TestFillFloat64MatchesFloat64(t *testing.T) {
+	for _, split := range chunkSplits {
+		a := New(777)
+		b := New(777)
+		var bulk []float64
+		for _, n := range split {
+			buf := make([]float64, n)
+			a.FillFloat64(buf)
+			bulk = append(bulk, buf...)
+		}
+		for i, v := range bulk {
+			if w := b.Float64(); v != w {
+				t.Fatalf("split %v draw %d: bulk %v, per-call %v", split, i, v, w)
+			}
+		}
+		assertSameState(t, a, b)
+	}
+}
+
+func TestFillGeometricInvMatchesGeometricInv(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		invLogQ := 1 / math.Log1p(-p)
+		for _, split := range chunkSplits {
+			a := New(31)
+			b := New(31)
+			var bulk []int64
+			for _, n := range split {
+				buf := make([]int64, n)
+				a.FillGeometricInv(invLogQ, buf)
+				bulk = append(bulk, buf...)
+			}
+			for i, v := range bulk {
+				if w := b.GeometricInv(invLogQ); v != w {
+					t.Fatalf("p=%v split %v draw %d: bulk %d, per-call %d", p, split, i, v, w)
+				}
+			}
+			assertSameState(t, a, b)
+		}
+	}
+}
+
+// TestGoldenFillGeometricInv pins literal values (and the exact generator
+// state after the fill), in the style of the package's other golden
+// sequences: any change to the bulk geometric path shows up here first.
+func TestGoldenFillGeometricInv(t *testing.T) {
+	want := []int64{120, 71, 101, 34, 6, 253, 70, 8, 45, 50}
+	const wantHi, wantLo uint64 = 0x6f42c6d0d8b5b98a, 0xf8b9faee3d1b984b
+	r := New(424242)
+	buf := make([]int64, len(want))
+	r.FillGeometricInv(1/math.Log1p(-0.01), buf)
+	for i, w := range want {
+		if buf[i] != w {
+			t.Fatalf("FillGeometricInv draw %d = %d, want %d", i, buf[i], w)
+		}
+	}
+	hi, lo := r.State()
+	if hi != wantHi || lo != wantLo {
+		t.Fatalf("state after fill = %#x %#x, want %#x %#x", hi, lo, wantHi, wantLo)
+	}
+}
+
+func assertSameState(t *testing.T, a, b *RNG) {
+	t.Helper()
+	ahi, alo := a.State()
+	bhi, blo := b.State()
+	if ahi != bhi || alo != blo {
+		t.Fatalf("generator states diverged: bulk (%#x,%#x) vs per-call (%#x,%#x)", ahi, alo, bhi, blo)
+	}
+}

@@ -69,23 +69,31 @@ func splitmix(x uint64) uint64 {
 // any generator.
 func Mix64(x uint64) uint64 { return splitmix(x) }
 
-// next advances the 128-bit LCG state and returns the previous state
-// passed through the XSL-RR output permutation. The 128-bit multiply and
-// add lower to single MULX/ADCX-style instructions via math/bits.
-func (r *RNG) next() uint64 {
-	oldHi, oldLo := r.hi, r.lo
-
+// pcgStep is one generator step on explicit state words: it returns the
+// advanced 128-bit LCG state and the XSL-RR output of the old state. The
+// 128-bit multiply and add lower to single MULX/ADCX-style instructions via
+// math/bits. Keeping the step value-typed lets the bulk Fill methods hoist
+// the state into registers for a whole buffer instead of reloading it
+// through the receiver pointer every draw.
+func pcgStep(oldHi, oldLo uint64) (hi, lo, out uint64) {
 	// 128-bit multiply of state by mul, then 128-bit add of inc.
-	hi, lo := bits.Mul64(oldLo, mulLo)
+	hi, lo = bits.Mul64(oldLo, mulLo)
 	hi += oldHi*mulLo + oldLo*mulHi
 	lo, carry := bits.Add64(lo, incLo, 0)
 	hi = hi + incHi + carry
-	r.hi, r.lo = hi, lo
 
 	// XSL-RR output function on the old state.
 	xored := oldHi ^ oldLo
 	rot := uint(oldHi >> 58)
-	return xored>>rot | xored<<((64-rot)&63)
+	return hi, lo, xored>>rot | xored<<((64-rot)&63)
+}
+
+// next advances the 128-bit LCG state and returns the previous state
+// passed through the XSL-RR output permutation.
+func (r *RNG) next() uint64 {
+	hi, lo, out := pcgStep(r.hi, r.lo)
+	r.hi, r.lo = hi, lo
+	return out
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
@@ -201,6 +209,56 @@ func (r *RNG) GeometricInv(invLogQ float64) int64 {
 		u = r.Float64()
 	}
 	return saturateGeom(math.Floor(math.Log(u) * invLogQ))
+}
+
+// FillUniform64 fills buf with uniformly distributed 64-bit values. It
+// draws exactly len(buf) sequential generator steps: the call leaves r in
+// the same state as len(buf) Uint64 calls would, so bulk and per-call
+// consumers of one generator interleave bit-identically. The generator
+// state lives in locals for the whole buffer, which is what makes the bulk
+// path cheaper than a Uint64 loop on the ingest hot path.
+func (r *RNG) FillUniform64(buf []uint64) {
+	hi, lo := r.hi, r.lo
+	for i := range buf {
+		hi, lo, buf[i] = pcgStep(hi, lo)
+	}
+	r.hi, r.lo = hi, lo
+}
+
+// FillFloat64 fills buf with uniform values in [0, 1), drawing exactly
+// len(buf) sequential steps — bit-identical to len(buf) Float64 calls.
+func (r *RNG) FillFloat64(buf []float64) {
+	hi, lo := r.hi, r.lo
+	for i := range buf {
+		var u uint64
+		hi, lo, u = pcgStep(hi, lo)
+		buf[i] = float64(u>>11) / (1 << 53)
+	}
+	r.hi, r.lo = hi, lo
+}
+
+// FillGeometricInv fills buf with geometric gap-skip counts in one pass:
+// buf[i] is the number of failures before the i-th success in
+// Bernoulli(p) trials, with invLogQ = 1/ln(1-p) precomputed exactly as for
+// GeometricInv. The draw sequence is bit-identical to len(buf) GeometricInv
+// calls (one nonzero uniform per entry, zero-rejection included), so
+// batch-ingest loops can pre-draw a run of Bernoulli admissions and still
+// replay byte-for-byte against the per-call path.
+func (r *RNG) FillGeometricInv(invLogQ float64, buf []int64) {
+	hi, lo := r.hi, r.lo
+	for i := range buf {
+		var u float64
+		for {
+			var x uint64
+			hi, lo, x = pcgStep(hi, lo)
+			u = float64(x>>11) / (1 << 53)
+			if u != 0 {
+				break
+			}
+		}
+		buf[i] = saturateGeom(math.Floor(math.Log(u) * invLogQ))
+	}
+	r.hi, r.lo = hi, lo
 }
 
 // saturateGeom converts a floored geometric draw to int64, saturating at

@@ -42,6 +42,13 @@ type Config struct {
 	// index identifies the calling lane so implementations can keep
 	// per-lane state (e.g. a private RNG) without synchronization.
 	RouteLive func(producer int, x int64) int
+	// RouteLiveBatch, when non-nil, routes a whole batch in live mode:
+	// it must fill dst[i] with the destination shard of xs[i], exactly as
+	// len(xs) RouteLive calls on the same lane would (len(dst) == len(xs)).
+	// Batch offers then bucket elements per shard and enqueue each bucket
+	// with one ring claim instead of one per element. Same concurrency
+	// contract as RouteLive.
+	RouteLiveBatch func(producer int, xs []int64, dst []int)
 	// RouteSerial routes one element in deterministic mode. It is called
 	// from the router goroutine only, in global sequence order.
 	RouteSerial func(x int64) int
@@ -74,6 +81,7 @@ type Pipeline struct {
 	routerDone chan struct{} // closed when the router goroutine exits (deterministic mode; pre-closed in live mode)
 	consumers  sync.WaitGroup
 	epoch      atomic.Uint64
+	stolen     atomic.Uint64 // elements applied by a consumer other than the shard's own
 	closeOnce  sync.Once
 	closeErr   error
 }
@@ -86,6 +94,10 @@ type Producer struct {
 	ring     *Ring // deterministic mode: the lane's own ring, merged by the router
 	closed   atomic.Bool
 	inFlight atomic.Int64 // offers past the closed check but not yet pushed
+
+	// Batch-routing scratch, owned by the lane's driving goroutine.
+	dst     []int     // per-element destinations from RouteLiveBatch
+	buckets [][]int64 // per-shard element runs for PushBatch
 }
 
 // Start validates cfg and launches the pipeline's goroutines: one consumer
@@ -174,6 +186,21 @@ func push(r *Ring, x int64) {
 	}
 }
 
+// pushAll enqueues a whole run with backpressure, claiming as many slots
+// per ring operation as are free.
+func pushAll(r *Ring, xs []int64) {
+	spin := 0
+	for len(xs) > 0 {
+		n := r.PushBatch(xs)
+		if n == 0 {
+			idleWait(&spin)
+			continue
+		}
+		spin = 0
+		xs = xs[n:]
+	}
+}
+
 // Offer submits one element to the lane, blocking (spin-then-sleep) when
 // the pipeline applies backpressure. It reports ErrClosed after the lane or
 // pipeline has been closed; elements accepted before that are never lost.
@@ -200,6 +227,13 @@ func (pr *Producer) Offer(x int64) error {
 
 // OfferBatch submits a run of consecutive elements (equivalent to offering
 // them one by one on this lane). It shares Offer's shutdown protocol.
+//
+// This is the ingest hot path: in deterministic mode the run lands in the
+// lane ring with one slot claim per free stretch; in live mode, when the
+// router provides RouteLiveBatch, the run is routed in one call, bucketed
+// per shard, and each bucket enqueued with PushBatch. Elements bound for
+// the same shard keep their relative order (the bucketing is stable), which
+// is all the ordering live mode ever promises.
 func (pr *Producer) OfferBatch(xs []int64) error {
 	pr.inFlight.Add(1)
 	defer pr.inFlight.Add(-1)
@@ -207,13 +241,40 @@ func (pr *Producer) OfferBatch(xs []int64) error {
 		return ErrClosed
 	}
 	if pr.ring != nil {
+		pushAll(pr.ring, xs)
+		return nil
+	}
+	p := pr.p
+	if p.cfg.RouteLiveBatch == nil {
 		for _, x := range xs {
-			push(pr.ring, x)
+			push(p.shardRing[p.cfg.RouteLive(pr.idx, x)], x)
 		}
 		return nil
 	}
-	for _, x := range xs {
-		push(pr.p.shardRing[pr.p.cfg.RouteLive(pr.idx, x)], x)
+	if p.cfg.Shards == 1 {
+		pushAll(p.shardRing[0], xs)
+		return nil
+	}
+	if cap(pr.dst) < len(xs) {
+		pr.dst = make([]int, len(xs))
+	}
+	if pr.buckets == nil {
+		pr.buckets = make([][]int64, p.cfg.Shards)
+	}
+	dst := pr.dst[:len(xs)]
+	p.cfg.RouteLiveBatch(pr.idx, xs, dst)
+	buckets := pr.buckets
+	for s := range buckets {
+		buckets[s] = buckets[s][:0]
+	}
+	for i, x := range xs {
+		s := dst[i]
+		buckets[s] = append(buckets[s], x)
+	}
+	for s, b := range buckets {
+		if len(b) > 0 {
+			pushAll(p.shardRing[s], b)
+		}
 	}
 	return nil
 }
@@ -256,9 +317,57 @@ func (p *Pipeline) routerLoop() {
 	}
 }
 
+// drain pops one bounded chunk from shard s's ring and applies it, all
+// under the shard lock, returning how many elements it applied. Holding the
+// lock across pop+apply makes the pair atomic per shard: any goroutine may
+// drain any shard (the basis of work stealing below) and per-shard FIFO
+// apply order — the determinism contract — still holds, because elements
+// leave the ring only in ring order and only under the lock that serializes
+// Apply. The lock-free Backlog pre-check keeps idle consumers from bouncing
+// foreign shard locks.
+func (p *Pipeline) drain(s int, buf []int64) int {
+	ring := p.shardRing[s]
+	if ring.Backlog() == 0 {
+		return 0
+	}
+	p.shardMu[s].Lock()
+	n := ring.PopInto(buf)
+	if n > 0 {
+		p.cfg.Apply(s, buf[:n])
+	}
+	p.shardMu[s].Unlock()
+	if n > 0 {
+		p.applied[s].Add(uint64(n))
+	}
+	return n
+}
+
+// stealFrom picks the victim with the longest backlog, excluding shard s.
+// A racy scan is fine: a stale choice only means a slightly worse victim.
+func (p *Pipeline) stealFrom(s int) int {
+	victim, best := -1, uint64(0)
+	for v := range p.shardRing {
+		if v == s {
+			continue
+		}
+		if b := p.shardRing[v].Backlog(); b > best {
+			victim, best = v, b
+		}
+	}
+	return victim
+}
+
 // consumerLoop drains shard s's ring into Apply in bounded chunks under the
-// shard lock. It exits once the pipeline is closing, the routing stage has
-// finished, and the ring is drained.
+// shard lock. When its own ring is empty it steals one bounded chunk from
+// the shard with the longest backlog — this is a liveness mechanism for
+// skewed routing (a hash router can send nearly all traffic to one shard,
+// and without stealing the other consumers would idle while one ring
+// backs up and stalls every producer through backpressure). Stealing
+// preserves the epoch barrier contract: the stolen chunk is applied under
+// the victim's shard lock and counted in the victim's applied counter, so
+// Flush and Freeze observe exactly the per-shard totals they would have
+// seen without stealing. The loop exits once the pipeline is closing, the
+// routing stage has finished, and its own ring is drained.
 func (p *Pipeline) consumerLoop(s int) {
 	defer p.consumers.Done()
 	ring := p.shardRing[s]
@@ -266,14 +375,16 @@ func (p *Pipeline) consumerLoop(s int) {
 	spin := 0
 	routerExited := false
 	for {
-		n := ring.PopInto(buf)
-		if n > 0 {
+		if n := p.drain(s, buf); n > 0 {
 			spin = 0
-			p.shardMu[s].Lock()
-			p.cfg.Apply(s, buf[:n])
-			p.shardMu[s].Unlock()
-			p.applied[s].Add(uint64(n))
 			continue
+		}
+		if v := p.stealFrom(s); v >= 0 {
+			if n := p.drain(v, buf); n > 0 {
+				p.stolen.Add(uint64(n))
+				spin = 0
+				continue
+			}
 		}
 		if p.closing.Load() {
 			if !routerExited {
@@ -315,6 +426,11 @@ func (p *Pipeline) Applied() uint64 {
 	}
 	return n
 }
+
+// Stolen returns the number of elements applied by a consumer other than
+// the shard's own — an observability counter for the work-stealing path
+// (always 0 when routing is balanced enough that no consumer goes idle).
+func (p *Pipeline) Stolen() uint64 { return p.stolen.Load() }
 
 // Flush is the drain barrier: it returns once every element whose
 // Offer/OfferBatch call returned before Flush was called has been applied

@@ -78,43 +78,39 @@ func (v *ReservoirL[T]) Offer(x T, r *rng.RNG) bool {
 
 // OfferBatch processes a run of consecutive stream elements in one call. It
 // draws exactly the same randomness as per-element Offers (bit-identical
-// samples, chunking invariant) but consumes pending skips in a single jump
-// instead of one decrement per element, so long rejected stretches cost
-// O(1) per batch.
+// samples, chunking invariant) but strides directly from admission to
+// admission: the pending skip consumes a whole rejected stretch in one
+// subtraction, so the steady-state cost is O(1) per admission plus O(1)
+// per batch, not one branch per element.
 func (v *ReservoirL[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	v.delta.clear()
-	if len(xs) == 0 {
-		return 0
+	n := len(xs)
+	admitted, i := 0, 0
+	// Fill phase: the first K elements are stored without randomness; the
+	// first skip is drawn the moment the reservoir fills.
+	for i < n && len(v.items) < v.K {
+		v.items = append(v.items, xs[i])
+		v.delta.add(xs[i])
+		v.rounds++
+		v.admitted++
+		admitted++
+		i++
+		if len(v.items) == v.K {
+			v.advance(r)
+		}
 	}
-	admitted := 0
-	i := 0
-	for i < len(xs) {
-		if len(v.items) < v.K {
-			x := xs[i]
-			i++
-			v.rounds++
-			v.items = append(v.items, x)
-			v.admitted++
-			v.delta.add(x)
-			admitted++
-			if len(v.items) == v.K {
-				v.advance(r)
-			}
-			continue
+	// Steady state: skip is always >= 0 here (advance ran at fill time),
+	// and each iteration lands exactly on the next admitted index.
+	for i < n {
+		if v.skip >= int64(n-i) {
+			v.skip -= int64(n - i)
+			v.rounds += n - i
+			return admitted
 		}
-		if v.skip > 0 {
-			jump := int64(len(xs) - i)
-			if jump > v.skip {
-				jump = v.skip
-			}
-			v.skip -= jump
-			v.rounds += int(jump)
-			i += int(jump)
-			continue
-		}
+		i += int(v.skip)
+		v.rounds += int(v.skip) + 1
 		x := xs[i]
 		i++
-		v.rounds++
 		j := r.Intn(v.K)
 		v.delta.remove(v.items[j])
 		v.items[j] = x

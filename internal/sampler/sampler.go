@@ -17,10 +17,16 @@ package sampler
 
 import (
 	"math"
+	"math/bits"
 	"slices"
 
 	"robustsample/internal/rng"
 )
+
+// bulkDraws caps the samplers' bulk-RNG scratch buffers: batch ingest
+// pre-draws up to this many uniforms per refill (see Reservoir.OfferBatch
+// for the exact-drain argument that makes prefilling safe).
+const bulkDraws = 512
 
 // Bernoulli keeps each offered element independently with probability P.
 // For a stream of length n the sample size concentrates around n*P
@@ -95,25 +101,34 @@ func (b *Bernoulli[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	if b.invLogQ == 0 {
 		b.invLogQ = 1 / math.Log1p(-b.P)
 	}
-	admitted := 0
-	i := 0
+	// Stride directly from admission to admission with the skip state in
+	// locals: rejected stretches cost one subtraction, not one branch per
+	// element. Bulk-prefilling the geometric draws (FillGeometricInv) is
+	// deliberately NOT done here: a skip can cover the whole remainder of
+	// the batch while consuming zero further draws, so prefilled skips have
+	// no consumption lower bound and would leave the generator ahead of the
+	// per-call sequence, breaking chunking invariance. One logarithm per
+	// admission is already the information-theoretic floor for this path.
+	admitted, i := 0, 0
+	skip, hasSkip, invLogQ := b.skip, b.hasSkip, b.invLogQ
 	for {
-		if !b.hasSkip {
-			b.skip = r.GeometricInv(b.invLogQ)
-			b.hasSkip = true
+		if !hasSkip {
+			skip = r.GeometricInv(invLogQ)
+			hasSkip = true
 		}
-		if b.skip >= int64(n-i) {
-			b.skip -= int64(n - i)
+		if skip >= int64(n-i) {
+			skip -= int64(n - i)
 			break
 		}
-		i += int(b.skip)
+		i += int(skip)
 		x := xs[i]
 		b.items = append(b.items, x)
 		b.delta.add(x)
 		admitted++
 		i++
-		b.hasSkip = false
+		hasSkip = false
 	}
+	b.skip, b.hasSkip = skip, hasSkip
 	return admitted
 }
 
@@ -176,6 +191,11 @@ type Reservoir[T any] struct {
 	rounds   int
 	admitted int // k' in Section 5: total elements ever admitted
 	delta    sampleDelta[T]
+
+	// ubuf is OfferBatch's bulk-uniform scratch. It is pure scratch: it is
+	// always logically empty between calls (see the exact-drain argument in
+	// OfferBatch), so snapshots and merges ignore it.
+	ubuf []uint64
 }
 
 // NewReservoir returns a reservoir sampler of capacity k. It panics unless
@@ -223,17 +243,82 @@ func (v *Reservoir[T]) offerOne(x T, r *rng.RNG) bool {
 // returning how many entered the reservoir. It draws exactly the same
 // randomness as offering the elements one at a time, so the resulting
 // sample is bit-identical to the per-element path and independent of how
-// the stream is sliced into batches; the win is amortizing call and delta
-// bookkeeping overhead across the run. LastDelta afterwards reports the
-// batch's net admissions and evictions (adds first, then removals).
+// the stream is sliced into batches; the win is pre-drawing uniforms in
+// bulk (FillUniform64 into a sampler-local scratch) and inlining the
+// Lemire admission test, instead of paying a generator call, a state
+// reload, and a division guard per element. LastDelta afterwards reports
+// the batch's net admissions and evictions (adds first, then removals).
+//
+// Why prefilling is safe (the exact-drain invariant): in the steady state
+// every element consumes at least one uniform — one Lemire multiply, plus
+// rare rejection redraws that also come from the scratch in draw order.
+// Each refill takes min(remaining, bulkDraws) values, which is a lower
+// bound on the draws the rest of the batch must consume, so the scratch
+// provably empties by the end of the batch and the generator finishes in
+// exactly the per-element state. Snapshots, merges, and chunking
+// invariance are therefore untouched by the bulk path.
 func (v *Reservoir[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	v.delta.clear()
-	admitted := 0
-	for _, x := range xs {
-		if v.offerOne(x, r) {
+	n := len(xs)
+	admitted, i := 0, 0
+	// Fill phase: the first K elements are stored without randomness.
+	for i < n && len(v.items) < v.K {
+		v.items = append(v.items, xs[i])
+		v.delta.add(xs[i])
+		v.rounds++
+		v.admitted++
+		admitted++
+		i++
+	}
+	if i == n {
+		return admitted
+	}
+	if cap(v.ubuf) < bulkDraws {
+		v.ubuf = make([]uint64, bulkDraws)
+	}
+	buf := v.ubuf[:bulkDraws]
+	items, K := v.items, v.K
+	rounds := v.rounds
+	bi, bn := 0, 0
+	for ; i < n; i++ {
+		if bi == bn {
+			bn = min(n-i, bulkDraws)
+			r.FillUniform64(buf[:bn])
+			bi = 0
+		}
+		rounds++
+		// Admit with probability K/rounds: draw j uniform in [0, rounds)
+		// via Lemire's multiply and keep when j < K; j doubles as the
+		// eviction slot. This is offerOne's r.Intn inlined against the
+		// scratch, accept condition and redraw order included.
+		m := uint64(rounds)
+		hi, lo := bits.Mul64(buf[bi], m)
+		bi++
+		if lo < m {
+			// Possible Lemire rejection; only now pay the division.
+			thresh := (-m) % m
+			for lo < thresh {
+				if bi == bn {
+					// The current element is still consuming draws, so
+					// it counts toward the refill bound along with the
+					// n-i-1 elements after it.
+					bn = min(n-i, bulkDraws)
+					r.FillUniform64(buf[:bn])
+					bi = 0
+				}
+				hi, lo = bits.Mul64(buf[bi], m)
+				bi++
+			}
+		}
+		if j := int(hi); j < K {
+			v.delta.remove(items[j])
+			items[j] = xs[i]
+			v.delta.add(xs[i])
+			v.admitted++
 			admitted++
 		}
 	}
+	v.rounds = rounds
 	return admitted
 }
 
@@ -407,6 +492,10 @@ type WithReplacement[T any] struct {
 	filled bool
 	rounds int
 	delta  sampleDelta[T]
+
+	// fbuf is OfferBatch's bulk-uniform scratch (always logically empty
+	// between calls; see the exact-drain note in OfferBatch).
+	fbuf []float64
 }
 
 // NewWithReplacement returns a with-replacement sampler with k slots. It
@@ -460,17 +549,85 @@ func (s *WithReplacement[T]) offerOne(x T, r *rng.RNG) bool {
 
 // OfferBatch processes a run of consecutive elements with exactly the same
 // randomness as per-element Offers (bit-identical samples, chunking
-// invariant), amortizing call and delta overhead. It returns the number of
-// rounds in which any slot adopted the offered element.
+// invariant). It returns the number of rounds in which any slot adopted the
+// offered element. The batch path pre-draws uniforms with FillFloat64 into
+// a sampler-local scratch and inlines the geometric skip arithmetic: every
+// round consumes at least one nonzero uniform (the first skip draw), so a
+// refill of min(remaining, bulkDraws) values is always fully consumed by
+// the end of the batch and the generator lands in exactly the per-element
+// state — the same exact-drain argument as Reservoir.OfferBatch.
 func (s *WithReplacement[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	s.delta.clear()
-	admitted := 0
-	for _, x := range xs {
-		if s.offerOne(x, r) {
+	n := len(xs)
+	admitted, i := 0, 0
+	if n > 0 && s.rounds == 0 {
+		// First element ever: every slot adopts it, no randomness drawn.
+		if s.offerOne(xs[0], r) {
+			admitted++
+		}
+		i = 1
+	}
+	if i == n {
+		return admitted
+	}
+	if cap(s.fbuf) < bulkDraws {
+		s.fbuf = make([]float64, bulkDraws)
+	}
+	buf := s.fbuf[:bulkDraws]
+	K := s.K
+	bi, bn := 0, 0
+	for ; i < n; i++ {
+		s.rounds++
+		// Each slot independently adopts with probability p = 1/rounds;
+		// the adopting slots are located by geometric skips exactly as in
+		// offerOne (Geometric's zero-rejection and saturation included),
+		// only the uniforms come from the scratch.
+		p := 1 / float64(s.rounds)
+		logQ := math.Log(1 - p)
+		k := 0
+		adopted := false
+		for k < K {
+			var u float64
+			for {
+				if bi == bn {
+					// The current round is still consuming draws, so it
+					// counts toward the refill bound with the n-i-1
+					// rounds after it.
+					bn = min(n-i, bulkDraws)
+					r.FillFloat64(buf[:bn])
+					bi = 0
+				}
+				u = buf[bi]
+				bi++
+				if u != 0 {
+					break
+				}
+			}
+			skip := satGeom(math.Floor(math.Log(u) / logQ))
+			if skip > int64(K-k-1) {
+				break
+			}
+			k += int(skip)
+			s.delta.remove(s.items[k])
+			s.items[k] = xs[i]
+			s.delta.add(xs[i])
+			adopted = true
+			k++
+		}
+		if adopted {
 			admitted++
 		}
 	}
 	return admitted
+}
+
+// satGeom mirrors the rng package's geometric saturation so the inlined
+// skip arithmetic above stays bit-identical to rng.Geometric.
+func satGeom(f float64) int64 {
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(f)
 }
 
 // LastDelta reports the slot adoptions of the most recent Offer: one added

@@ -29,6 +29,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -113,7 +114,7 @@ func (e *Engine) Serve(cfg ServeConfig) (*Serving, error) {
 			return si
 		}
 	} else {
-		rcfg.RouteLive = e.liveRouter(s, cfg.Producers)
+		rcfg.RouteLive, rcfg.RouteLiveBatch = e.liveRouter(s, cfg.Producers)
 	}
 	pl, err := runtime.Start(rcfg)
 	if err != nil {
@@ -123,37 +124,132 @@ func (e *Engine) Serve(cfg ServeConfig) (*Serving, error) {
 	return s, nil
 }
 
-// liveRouter builds the producer-side routing function for live mode. The
-// three in-repo routers route without shared mutable state (per-lane RNG
-// streams split from the engine's routing stream for Uniform, a pure hash,
-// an atomic ticket for RoundRobin); unknown Router implementations fall
-// back to a lock around the serial routing path.
-func (e *Engine) liveRouter(s *Serving, producers int) func(int, int64) int {
+// routeBulk is the per-lane bulk-uniform scratch size for batch routing.
+const routeBulk = 256
+
+// uniformLane is one producer lane's routing state for the Uniform router:
+// a private RNG stream plus a bulk-draw scratch, both owned by the lane's
+// driving goroutine.
+type uniformLane struct {
+	r    *rng.RNG
+	ubuf [routeBulk]uint64
+}
+
+// liveRouter builds the producer-side routing functions for live mode —
+// the per-element one and the batch one, sharing routing state so a lane
+// may mix Offer and OfferBatch freely. The three in-repo routers route
+// without shared mutable state (per-lane RNG streams split from the
+// engine's routing stream for Uniform, a pure hash, an atomic ticket for
+// RoundRobin); unknown Router implementations fall back to a lock around
+// the serial routing path, taken once per batch on the batch side.
+//
+// The batch variants are where the per-element routing overhead goes away:
+// HashByValue hashes in unrolled groups of 8 with one bounds check per
+// group, RoundRobin claims a whole run of tickets with one atomic add, and
+// Uniform draws its uniforms in bulk (FillUniform64 with the same
+// exact-drain discipline as the samplers, so batch and scalar routing
+// consume the lane's stream identically).
+func (e *Engine) liveRouter(s *Serving, producers int) (func(int, int64) int, func(int, []int64, []int)) {
 	S := len(e.shards)
 	switch r := e.router.(type) {
 	case Uniform:
-		lanes := make([]*rng.RNG, producers)
+		lanes := make([]*uniformLane, producers)
 		for i := range lanes {
-			lanes[i] = e.routerRNG.Split()
+			lanes[i] = &uniformLane{r: e.routerRNG.Split()}
 		}
-		return func(lane int, _ int64) int { return lanes[lane].Intn(S) }
+		scalar := func(lane int, _ int64) int { return lanes[lane].r.Intn(S) }
+		m := uint64(S)
+		thresh := (-m) % m // Lemire rejection threshold, hoisted for the whole session
+		batch := func(lane int, xs []int64, dst []int) {
+			l := lanes[lane]
+			n := len(dst)
+			bi, bn := 0, 0
+			for i := range dst {
+				if bi == bn {
+					bn = min(n-i, routeBulk)
+					l.r.FillUniform64(l.ubuf[:bn])
+					bi = 0
+				}
+				// Inlined r.Intn: same accept condition and redraw order,
+				// uniforms from the scratch (exact-drain: every element
+				// consumes at least one).
+				hi, lo := bits.Mul64(l.ubuf[bi], m)
+				bi++
+				for lo < thresh {
+					if bi == bn {
+						bn = min(n-i, routeBulk)
+						l.r.FillUniform64(l.ubuf[:bn])
+						bi = 0
+					}
+					hi, lo = bits.Mul64(l.ubuf[bi], m)
+					bi++
+				}
+				dst[i] = int(hi)
+			}
+		}
+		return scalar, batch
 	case HashByValue:
-		return func(_ int, x int64) int { return r.Route(x, 0, S, nil) }
+		scalar := func(_ int, x int64) int { return r.Route(x, 0, S, nil) }
+		m := uint64(S)
+		batch := func(_ int, xs []int64, dst []int) {
+			i := 0
+			// Groups of 8 with one bounds check per group: the full-slice
+			// expressions pin both windows so the compiler drops the
+			// per-element checks. The modulo must stay `% m` (not a
+			// fast-range reduction) so batch destinations are exactly
+			// Route's.
+			for ; i+8 <= len(xs); i += 8 {
+				x := xs[i : i+8 : i+8]
+				d := dst[i : i+8 : i+8]
+				d[0] = int(rng.Mix64(uint64(x[0])) % m)
+				d[1] = int(rng.Mix64(uint64(x[1])) % m)
+				d[2] = int(rng.Mix64(uint64(x[2])) % m)
+				d[3] = int(rng.Mix64(uint64(x[3])) % m)
+				d[4] = int(rng.Mix64(uint64(x[4])) % m)
+				d[5] = int(rng.Mix64(uint64(x[5])) % m)
+				d[6] = int(rng.Mix64(uint64(x[6])) % m)
+				d[7] = int(rng.Mix64(uint64(x[7])) % m)
+			}
+			for ; i < len(xs); i++ {
+				dst[i] = int(rng.Mix64(uint64(xs[i])) % m)
+			}
+		}
+		return scalar, batch
 	case RoundRobin:
-		return func(_ int, _ int64) int {
+		scalar := func(_ int, _ int64) int {
 			return int((s.liveRound.Add(1) - 1) % int64(S))
 		}
+		batch := func(_ int, xs []int64, dst []int) {
+			// One atomic add claims the whole ticket run.
+			n := int64(len(dst))
+			start := s.liveRound.Add(n) - n
+			for i := range dst {
+				dst[i] = int((start + int64(i)) % int64(S))
+			}
+		}
+		return scalar, batch
 	default:
-		return func(_ int, x int64) int {
-			s.routeMu.Lock()
+		route := func(x int64) int {
 			s.fallback++
 			si := e.router.Route(x, s.fallback, S, e.routerRNG)
-			s.routeMu.Unlock()
 			if si < 0 || si >= S {
 				panic("shard: router returned out-of-range shard")
 			}
 			return si
 		}
+		scalar := func(_ int, x int64) int {
+			s.routeMu.Lock()
+			defer s.routeMu.Unlock()
+			return route(x)
+		}
+		batch := func(_ int, xs []int64, dst []int) {
+			s.routeMu.Lock()
+			defer s.routeMu.Unlock()
+			for i, x := range xs {
+				dst[i] = route(x)
+			}
+		}
+		return scalar, batch
 	}
 }
 
