@@ -136,8 +136,8 @@ func latestBaseline(dir string) (string, error) {
 // deliberately excluded.
 func key(r bench.BenchResult) string {
 	p := r.Params
-	return fmt.Sprintf("%s|seed=%d|trials=%d|scale=%g|workers=%d|shards=%d|chunk=%d|producers=%d|latency=%d|n=%d",
-		r.Name, p.Seed, p.Trials, p.Scale, p.Workers, p.Shards, p.Chunk, p.Producers, p.LatencyNs, p.N)
+	return fmt.Sprintf("%s|seed=%d|trials=%d|scale=%g|workers=%d|shards=%d|chunk=%d|producers=%d|latency=%d|n=%d|ckpt=%d",
+		r.Name, p.Seed, p.Trials, p.Scale, p.Workers, p.Shards, p.Chunk, p.Producers, p.LatencyNs, p.N, p.Checkpoint)
 }
 
 // label renders a short human identifier for a result.

@@ -22,6 +22,7 @@
 //	robustbench -exp E1 -trials 100 -scale 0.5 -seed 7 -workers 4
 //	robustbench -exp E18 -shards 16  # sharded engine at S=16
 //	robustbench -exp E19 -producers 1,2,4,8,16,32  # serving scaling curve
+//	robustbench -exp E20 -faults "seed=1,crash=0.01"  # self-healing chaos run
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -41,7 +42,7 @@ import (
 func main() {
 	var (
 		all        = flag.Bool("all", false, "run every experiment")
-		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E19)")
+		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E20)")
 		fig        = flag.String("fig", "", "render a figure by ID (F1, F2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
@@ -51,6 +52,7 @@ func main() {
 		chunk      = flag.Int("chunk", game.SpanChunkCap, "batch-ingest chunk size for non-adaptive games (tables are identical for every value)")
 		shards     = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
 		producers  = flag.String("producers", "", "comma-separated producer-lane counts for the concurrent serving experiment E19, one measured point each (empty = sweep 1,2,4,8,16,32)")
+		faultSpec  = flag.String("faults", "", "fault-plan spec for the self-healing experiment E20, e.g. \"seed=1,crash=0.01,stall=0.005@2ms,corrupt=0.005\" (empty = sweep the default crash-rate ladder)")
 		jsonPath   = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -65,7 +67,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "robustbench: -producers: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: lanes}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: lanes, Faults: *faultSpec}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -158,8 +160,10 @@ func parseIntList(s string) ([]int, error) {
 // writes the machine-readable results to path; the perf trajectory files
 // (BENCH_*.json) are produced this way. When the selection includes the
 // concurrent serving experiment E19, the throughput-vs-producers scaling
-// curve (one ConcurrentIngest entry per lane count) is appended. A no-op
-// when path is empty.
+// curve (one ConcurrentIngest entry per lane count) is appended; when it
+// includes the self-healing experiment E20, the checkpoint-overhead curve
+// (ConcurrentIngestCkpt, same sweep with crash supervision on) is appended
+// too. A no-op when path is empty.
 func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int) {
 	if path == "" {
 		return
@@ -168,6 +172,12 @@ func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int)
 	for _, e := range exps {
 		if e.ID == "E19" {
 			results = append(results, bench.MeasureConcurrentIngest(cfg)...)
+			break
+		}
+	}
+	for _, e := range exps {
+		if e.ID == "E20" {
+			results = append(results, bench.MeasureConcurrentIngestCkpt(cfg)...)
 			break
 		}
 	}

@@ -48,6 +48,12 @@ type Config struct {
 	// in order. It affects only the E19 table and the ConcurrentIngest
 	// JSON curve (one entry per point).
 	Producers []int
+	// Faults is an optional fault-plan spec (internal/faults.ParseSpec
+	// syntax, e.g. "seed=1,crash=0.01,stall=0.005@2ms") for the
+	// self-healing experiment E20: when set, its availability arm measures
+	// that single plan instead of sweeping the default crash-rate ladder.
+	// It affects only the E20 table.
+	Faults string
 }
 
 // DefaultConfig is the reference configuration for the DESIGN.md tables.
@@ -218,6 +224,7 @@ func All() []Experiment {
 		{"E17", "Ablation: reservoir variants (Algorithm R / Algorithm L / with-replacement)", ExpE17},
 		{"E18", "Section 1.3: sharded continuous sampling with mergeable verdicts", ExpE18},
 		{"E19", "Concurrent serving runtime: pipeline determinism and throughput vs producers", ExpE19},
+		{"E20", "Self-healing serving: crash recovery and degraded-read availability under injected faults", ExpE20},
 	}
 	slices.SortFunc(exps, func(a, b Experiment) int {
 		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))

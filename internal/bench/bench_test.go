@@ -14,8 +14,8 @@ func quickCfg() Config {
 
 func TestAllExperimentsPresent(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
-		t.Fatalf("have %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("have %d experiments, want 20", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)

@@ -89,13 +89,17 @@ func pace(deadline time.Time) {
 // time from first offer to drain barrier, plus the exact element count.
 // Producer lanes wait out servingLatency before each batch (the modeled
 // client round-trip), so the curve measures how the pipeline overlaps
-// client latency with ingest.
-func measureServingIngest(n, producers int) (elapsed time.Duration, total int) {
+// client latency with ingest. checkpointEvery > 0 additionally enables
+// crash supervision (periodic per-shard snapshots), the overhead arm of
+// the perf trajectory; 0 is the unsupervised baseline gated against
+// BENCH_PR6.
+func measureServingIngest(n, producers, checkpointEvery int) (elapsed time.Duration, total int) {
 	eng := servingEngine(rng.New(77))
 	srv, err := eng.Serve(shard.ServeConfig{
-		Producers: producers,
-		RingSize:  4096,
-		ChunkCap:  1024,
+		Producers:       producers,
+		RingSize:        4096,
+		ChunkCap:        1024,
+		CheckpointEvery: checkpointEvery,
 	})
 	if err != nil {
 		panic(err)
@@ -190,7 +194,7 @@ func ExpE19(cfg Config) *Table {
 	tn := cfg.scaled(1<<18, 1<<13)
 	base := 0.0
 	for _, P := range cfg.producerCounts() {
-		elapsed, total := measureServingIngest(tn, P)
+		elapsed, total := measureServingIngest(tn, P, 0)
 		rate := float64(total) / elapsed.Seconds() / 1e6
 		if base == 0 {
 			base = rate

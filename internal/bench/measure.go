@@ -35,6 +35,10 @@ type BenchParams struct {
 	// bandwidth floor in ns/elem that ns_per_op should approach as
 	// per-element CPU overhead is amortized away.
 	CopyGBps float64 `json:"copy_gbps,omitempty"`
+	// Checkpoint tags the ConcurrentIngestCkpt overhead arm: the crash-
+	// supervision checkpoint interval the entry was measured at (0 or
+	// absent = supervision disabled).
+	Checkpoint int `json:"checkpoint,omitempty"`
 }
 
 // BenchResult is one machine-readable measurement: a full experiment run
@@ -111,6 +115,23 @@ func measureCopyGBps() float64 {
 // bytes/elem, measured copy GB/s) recorded in the params block. This is
 // the throughput-vs-producers scaling curve of the perf trajectory.
 func MeasureConcurrentIngest(cfg Config) []BenchResult {
+	return measureIngestCurve(cfg, "ConcurrentIngest", 0)
+}
+
+// ckptEvery is the checkpoint interval of the supervised overhead arm: one
+// per-shard state snapshot per 4096 applied elements, the serving default.
+const ckptEvery = 4096
+
+// MeasureConcurrentIngestCkpt is MeasureConcurrentIngest with crash
+// supervision enabled (checkpoint interval ckptEvery): the same sweep under
+// the name ConcurrentIngestCkpt, so the checkpointing overhead is the
+// per-point delta against the ConcurrentIngest entries and neither curve's
+// baseline gate ever matches the other.
+func MeasureConcurrentIngestCkpt(cfg Config) []BenchResult {
+	return measureIngestCurve(cfg, "ConcurrentIngestCkpt", ckptEvery)
+}
+
+func measureIngestCurve(cfg Config, name string, checkpointEvery int) []BenchResult {
 	tn := cfg.scaled(1<<18, 1<<13)
 	copyGBps := measureCopyGBps()
 	results := make([]BenchResult, 0, 6)
@@ -118,10 +139,10 @@ func MeasureConcurrentIngest(cfg Config) []BenchResult {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		elapsed, total := measureServingIngest(tn, P)
+		elapsed, total := measureServingIngest(tn, P, checkpointEvery)
 		runtime.ReadMemStats(&after)
 		results = append(results, BenchResult{
-			Name:        "ConcurrentIngest",
+			Name:        name,
 			NsPerOp:     elapsed.Nanoseconds() / int64(total),
 			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(total),
 			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(total),
@@ -135,6 +156,7 @@ func MeasureConcurrentIngest(cfg Config) []BenchResult {
 				N:            total,
 				BytesPerElem: servingBytesPerElem,
 				CopyGBps:     copyGBps,
+				Checkpoint:   checkpointEvery,
 			},
 		})
 	}

@@ -56,6 +56,22 @@ type Config struct {
 	// the shard's lock held — never concurrently for the same shard — and
 	// must not retain xs.
 	Apply func(shard int, xs []int64)
+	// BeforeApply, when non-nil, runs immediately before every Apply
+	// attempt, under the shard lock, with the chunk about to be applied.
+	// It is the fault-injection hook: it may sleep (a stalled or slow
+	// consumer), panic (a crashed consumer), or corrupt xs in place (a
+	// poisoned batch — the pipeline keeps a pristine copy and restores it
+	// before each retry).
+	BeforeApply func(shard, attempt int, xs []int64)
+	// OnApplyPanic, when non-nil, supervises Apply: a panic raised by
+	// BeforeApply or Apply is recovered and reported here, still under the
+	// shard lock, and the returned Disposition decides whether the chunk
+	// is retried (attempt increments) or dropped. Dropped chunks still
+	// count toward the applied totals — the barrier contract is "consumed
+	// from the ring", not "ingested" — and are tallied per shard in Lost.
+	// When nil, an Apply panic propagates and kills the process, exactly
+	// as an unsupervised consumer crash would.
+	OnApplyPanic func(shard int, v any, xs []int64, attempt int) Disposition
 }
 
 // Epoch stamps a read barrier: Seq increases with every barrier taken on
@@ -76,9 +92,11 @@ type Pipeline struct {
 	shardMu   []sync.Mutex
 	applied   []atomic.Uint64 // per shard, bumped after Apply returns
 	routed    []atomic.Uint64 // per producer lane, bumped after the router forwards (deterministic mode)
+	lost      []atomic.Uint64 // per shard, elements in chunks dropped by the supervisor
 
 	closing    atomic.Bool
 	routerDone chan struct{} // closed when the router goroutine exits (deterministic mode; pre-closed in live mode)
+	drained    chan struct{} // closed when the shutdown drain completes
 	consumers  sync.WaitGroup
 	epoch      atomic.Uint64
 	stolen     atomic.Uint64 // elements applied by a consumer other than the shard's own
@@ -98,6 +116,7 @@ type Producer struct {
 	// Batch-routing scratch, owned by the lane's driving goroutine.
 	dst     []int     // per-element destinations from RouteLiveBatch
 	buckets [][]int64 // per-shard element runs for PushBatch
+	boff    uint64    // xorshift state for the ctx offers' backoff jitter
 }
 
 // Start validates cfg and launches the pipeline's goroutines: one consumer
@@ -130,7 +149,9 @@ func Start(cfg Config) (*Pipeline, error) {
 		shardMu:    make([]sync.Mutex, cfg.Shards),
 		applied:    make([]atomic.Uint64, cfg.Shards),
 		routed:     make([]atomic.Uint64, cfg.Producers),
+		lost:       make([]atomic.Uint64, cfg.Shards),
 		routerDone: make(chan struct{}),
+		drained:    make(chan struct{}),
 	}
 	for i := range p.shardRing {
 		p.shardRing[i] = NewRing(cfg.RingSize)
@@ -333,7 +354,7 @@ func (p *Pipeline) drain(s int, buf []int64) int {
 	p.shardMu[s].Lock()
 	n := ring.PopInto(buf)
 	if n > 0 {
-		p.cfg.Apply(s, buf[:n])
+		p.applyChunk(s, buf[:n])
 	}
 	p.shardMu[s].Unlock()
 	if n > 0 {
@@ -427,6 +448,11 @@ func (p *Pipeline) Applied() uint64 {
 	return n
 }
 
+// ShardApplied returns the number of elements consumed from shard s's ring
+// so far (including elements in chunks the supervisor dropped — subtract
+// ShardLost for the ingested count).
+func (p *Pipeline) ShardApplied(s int) uint64 { return p.applied[s].Load() }
+
 // Stolen returns the number of elements applied by a consumer other than
 // the shard's own — an observability counter for the work-stealing path
 // (always 0 when routing is balanced enough that no consumer goes idle).
@@ -499,53 +525,71 @@ func (p *Pipeline) Freeze(fn func()) Epoch {
 // (single-threaded, so the SPSC consumer roles transfer safely) for any
 // push that landed after a lane was declared drained.
 func (p *Pipeline) Close() Epoch {
+	<-p.beginClose()
+	return Epoch{Seq: p.epoch.Add(1), Applied: p.Applied()}
+}
+
+// beginClose starts the shutdown drain exactly once — on its own goroutine,
+// so callers can bound how long they wait for it — and returns the channel
+// closed when the drain completes. The drain goroutine survives an
+// abandoned CloseCtx wait: a stalled consumer delays completion but the
+// drain still finishes (or the process exits first).
+func (p *Pipeline) beginClose() <-chan struct{} {
 	p.closeOnce.Do(func() {
-		p.closing.Store(true)
-		for _, pr := range p.producers {
-			pr.Close()
+		go func() {
+			defer close(p.drained)
+			p.shutdown()
+		}()
+	})
+	return p.drained
+}
+
+// shutdown is the drain body behind Close/CloseCtx; it runs exactly once.
+func (p *Pipeline) shutdown() {
+	p.closing.Store(true)
+	for _, pr := range p.producers {
+		pr.Close()
+	}
+	// Wait for in-flight offers: consumers are still draining, so a
+	// producer blocked on backpressure completes its push.
+	for _, pr := range p.producers {
+		spin := 0
+		for pr.inFlight.Load() > 0 {
+			idleWait(&spin)
 		}
-		// Wait for in-flight offers: consumers are still draining, so a
-		// producer blocked on backpressure completes its push.
-		for _, pr := range p.producers {
-			spin := 0
-			for pr.inFlight.Load() > 0 {
-				idleWait(&spin)
-			}
-		}
-		<-p.routerDone
-		p.consumers.Wait()
-		// Final sweep: an in-flight push may have landed after the
-		// router/consumers decided its lane was drained. All goroutines
-		// are gone, so this goroutine is now the sole consumer of every
-		// ring.
-		if p.cfg.Deterministic {
-			for i, pr := range p.producers {
-				for {
-					x, ok := pr.ring.Pop()
-					if !ok {
-						break
-					}
-					push(p.shardRing[p.cfg.RouteSerial(x)], x)
-					p.routed[i].Add(1)
-				}
-			}
-		}
-		for s, r := range p.shardRing {
-			var buf [256]int64
+	}
+	<-p.routerDone
+	p.consumers.Wait()
+	// Final sweep: an in-flight push may have landed after the
+	// router/consumers decided its lane was drained. All goroutines
+	// are gone, so this goroutine is now the sole consumer of every
+	// ring.
+	if p.cfg.Deterministic {
+		for i, pr := range p.producers {
 			for {
-				n := r.PopInto(buf[:])
-				if n == 0 {
+				x, ok := pr.ring.Pop()
+				if !ok {
 					break
 				}
-				// Queries may still run (they are valid on a closed
-				// pipeline), so the sweep honors the shard locks exactly
-				// like the consumers did.
-				p.shardMu[s].Lock()
-				p.cfg.Apply(s, buf[:n])
-				p.shardMu[s].Unlock()
-				p.applied[s].Add(uint64(n))
+				push(p.shardRing[p.cfg.RouteSerial(x)], x)
+				p.routed[i].Add(1)
 			}
 		}
-	})
-	return Epoch{Seq: p.epoch.Add(1), Applied: p.Applied()}
+	}
+	for s, r := range p.shardRing {
+		var buf [256]int64
+		for {
+			n := r.PopInto(buf[:])
+			if n == 0 {
+				break
+			}
+			// Queries may still run (they are valid on a closed
+			// pipeline), so the sweep honors the shard locks exactly
+			// like the consumers did.
+			p.shardMu[s].Lock()
+			p.applyChunk(s, buf[:n])
+			p.shardMu[s].Unlock()
+			p.applied[s].Add(uint64(n))
+		}
+	}
 }

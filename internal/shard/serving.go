@@ -27,12 +27,15 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"robustsample/internal/faults"
 	"robustsample/internal/rng"
 	"robustsample/internal/runtime"
 	"robustsample/internal/setsystem"
@@ -57,22 +60,45 @@ type ServeConfig struct {
 	ChunkCap int
 	// Deterministic selects sequenced routing (see package comment).
 	Deterministic bool
+	// CheckpointEvery enables crash supervision: each shard snapshots its
+	// state (appendShardBlock) roughly every CheckpointEvery applied
+	// elements, and a panicking consumer restores the shard from its
+	// latest checkpoint instead of killing the process (see health.go for
+	// the recovery contract). 0 disables supervision unless Faults is set,
+	// in which case the default interval is 4096. Requires a snapshot
+	// codec (Serve fails fast otherwise).
+	CheckpointEvery int
+	// RetryLimit is how many times a failing chunk is retried from the
+	// restored checkpoint before being dropped (its elements count as
+	// lost); <= 0 selects 2.
+	RetryLimit int
+	// Faults injects a deterministic, seeded fault plan into the apply
+	// path for chaos runs; the plan must have been built for this engine's
+	// shard count. Setting it implies supervision.
+	Faults *faults.Plan
+	// QueryWait bounds how long the degraded reads (VerdictCovered,
+	// SampleCovered, GlobalSampleCovered) wait per shard lock before
+	// skipping the shard; <= 0 selects 5ms.
+	QueryWait time.Duration
 }
 
 // Serving is a running concurrent ingest session over an Engine. All its
 // methods are safe for concurrent use (Producer lanes by one goroutine
 // each); the underlying Engine must not be used directly until Close.
 type Serving struct {
-	e  *Engine
-	pl *runtime.Pipeline
+	e   *Engine
+	pl  *runtime.Pipeline
+	sup *supervisor // nil when supervision is off
 
 	qmu     sync.Mutex             // serializes queries (shared scratch accumulators)
 	scratch *setsystem.Accumulator // ShardVerdict copy target
 
 	routeMu     sync.Mutex // serializes routing state against Freeze (deterministic / fallback routers)
 	startRounds int
-	liveRound   atomic.Int64 // live RoundRobin ticket
-	fallback    int          // fallback router round counter, under routeMu
+	startShard  []int         // per-shard rounds at Serve time (Health resolution without supervision)
+	queryWait   time.Duration // degraded reads' per-shard lock wait bound
+	liveRound   atomic.Int64  // live RoundRobin ticket
+	fallback    int           // fallback router round counter, under routeMu
 }
 
 // Serve starts a concurrent ingest pipeline over the engine. The engine
@@ -90,7 +116,23 @@ func (e *Engine) Serve(cfg ServeConfig) (*Serving, error) {
 	if cfg.Producers <= 0 {
 		cfg.Producers = 1
 	}
-	s := &Serving{e: e, startRounds: e.rounds}
+	if cfg.Faults != nil && cfg.Faults.Shards() != len(e.shards) {
+		return nil, fmt.Errorf("shard: fault plan built for %d shards, engine has %d", cfg.Faults.Shards(), len(e.shards))
+	}
+	if cfg.Faults != nil && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 4096
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 2
+	}
+	if cfg.QueryWait <= 0 {
+		cfg.QueryWait = 5 * time.Millisecond
+	}
+	s := &Serving{e: e, startRounds: e.rounds, queryWait: cfg.QueryWait}
+	s.startShard = make([]int, len(e.shards))
+	for i, sh := range e.shards {
+		s.startShard[i] = sh.rounds
+	}
 	rcfg := runtime.Config{
 		Shards:        len(e.shards),
 		Producers:     cfg.Producers,
@@ -100,6 +142,18 @@ func (e *Engine) Serve(cfg ServeConfig) (*Serving, error) {
 		Apply: func(si int, xs []int64) {
 			e.applyShard(e.shards[si], xs)
 		},
+	}
+	if cfg.CheckpointEvery > 0 {
+		sup, err := newSupervisor(e, cfg.Deterministic, cfg.CheckpointEvery, cfg.RetryLimit, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.sup = sup
+		rcfg.Apply = func(si int, xs []int64) { sup.apply(si, xs) }
+		rcfg.OnApplyPanic = sup.onPanic
+		if sup.plan != nil {
+			rcfg.BeforeApply = sup.inject
+		}
 	}
 	if cfg.Deterministic {
 		round := e.rounds
@@ -263,9 +317,12 @@ func (s *Serving) NumProducers() int { return s.pl.NumProducers() }
 // pipeline, applied or not).
 func (s *Serving) Rounds() int { return s.startRounds + int(s.pl.Offered()) }
 
-// AppliedRounds returns the number of elements already applied to shard
-// state — what the live queries see.
-func (s *Serving) AppliedRounds() int { return s.startRounds + int(s.pl.Applied()) }
+// AppliedRounds returns the number of elements currently reflected in shard
+// state — what the live queries see. Elements lost to crash recovery
+// (rolled back or dropped; see Health) are excluded.
+func (s *Serving) AppliedRounds() int {
+	return s.startRounds + int(s.pl.Applied()) - int(s.lostRounds())
+}
 
 // Flush is the drain barrier: it returns once everything offered before the
 // call is applied to shard state, with the epoch stamping the moment.
@@ -388,10 +445,17 @@ func (s *Serving) AppendState(buf []byte) ([]byte, runtime.Epoch, error) {
 	var err error
 	out := buf
 	ep := s.Freeze(func() {
-		s.e.rounds = s.startRounds + int(s.pl.Applied())
+		s.syncRounds()
 		out, err = AppendState(out, s.e)
 	})
 	return out, ep, err
+}
+
+// syncRounds re-derives the engine's coordinator round counter from the
+// pipeline's counters, excluding rounds lost to crash recovery so the
+// e.rounds == sum(shard rounds) invariant survives rollbacks and drops.
+func (s *Serving) syncRounds() {
+	s.e.rounds = s.startRounds + int(s.pl.Applied()) - int(s.lostRounds())
 }
 
 // Close drains everything offered, stops the pipeline goroutines, and
@@ -400,6 +464,20 @@ func (s *Serving) AppendState(buf []byte) ([]byte, runtime.Epoch, error) {
 // runtime.ErrClosed from their offers; accepted elements are never lost.
 func (s *Serving) Close() runtime.Epoch {
 	ep := s.pl.Close()
-	s.e.rounds = s.startRounds + int(s.pl.Applied())
+	s.syncRounds()
 	return ep
+}
+
+// CloseCtx is Close with a drain deadline: a wedged consumer cannot hang
+// shutdown past ctx. On timeout it returns an error matching both
+// runtime.ErrDrainTimeout and the ctx error; the drain keeps running in the
+// background, the engine's counters are NOT yet synced (the session is
+// still draining), and a later Close/CloseCtx waits for the same drain.
+func (s *Serving) CloseCtx(ctx context.Context) (runtime.Epoch, error) {
+	ep, err := s.pl.CloseCtx(ctx)
+	if err != nil {
+		return ep, err
+	}
+	s.syncRounds()
+	return ep, nil
 }

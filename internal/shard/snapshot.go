@@ -33,25 +33,38 @@ func AppendState(buf []byte, e *Engine) ([]byte, error) {
 	buf = snapshot.AppendUint64(buf, hi)
 	buf = snapshot.AppendUint64(buf, lo)
 	for _, sh := range e.shards {
-		if len(sh.pending) != 0 {
-			return nil, fmt.Errorf("shard: snapshot with pending un-ingested elements")
-		}
-		hi, lo := sh.rng.State()
-		buf = snapshot.AppendUint64(buf, hi)
-		buf = snapshot.AppendUint64(buf, lo)
-		buf = snapshot.AppendInt64(buf, int64(sh.rounds))
-		buf = snapshot.AppendBool(buf, sh.sampler != nil)
-		if sh.sampler == nil {
-			continue
-		}
 		var err error
-		buf, err = sampler.AppendState(buf, sh.sampler)
+		buf, err = appendShardBlock(buf, sh)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrUnsnapshottable, err)
+			return nil, err
 		}
-		buf = sh.acc.AppendSnapshot(buf)
 	}
 	return buf, nil
+}
+
+// appendShardBlock appends one shard's dynamic state — its private RNG,
+// substream length, sampler state and accumulator state. It is the
+// per-shard unit of both the full engine snapshot and the serving runtime's
+// per-shard crash checkpoints (a block restores independently of the other
+// shards, which is what makes single-shard recovery possible).
+func appendShardBlock(buf []byte, sh *shardState) ([]byte, error) {
+	if len(sh.pending) != 0 {
+		return nil, fmt.Errorf("shard: snapshot with pending un-ingested elements")
+	}
+	hi, lo := sh.rng.State()
+	buf = snapshot.AppendUint64(buf, hi)
+	buf = snapshot.AppendUint64(buf, lo)
+	buf = snapshot.AppendInt64(buf, int64(sh.rounds))
+	buf = snapshot.AppendBool(buf, sh.sampler != nil)
+	if sh.sampler == nil {
+		return buf, nil
+	}
+	var err error
+	buf, err = sampler.AppendState(buf, sh.sampler)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsnapshottable, err)
+	}
+	return sh.acc.AppendSnapshot(buf), nil
 }
 
 // LoadState restores state written by AppendState into e, which must have
@@ -79,28 +92,34 @@ func LoadState(r *snapshot.Reader, e *Engine) error {
 	e.routerRNG.SetState(routerHi, routerLo)
 	e.router.Reset()
 	for _, sh := range e.shards {
-		hi := r.Uint64()
-		lo := r.Uint64()
-		shRounds := r.Int64()
-		hasSampler := r.Bool()
-		if err := r.Err(); err != nil {
-			return err
-		}
-		if shRounds < 0 || hasSampler != (sh.sampler != nil) {
-			return fmt.Errorf("shard: snapshot sampler layout does not match engine config: %w", snapshot.ErrCorrupt)
-		}
-		sh.rng.SetState(hi, lo)
-		sh.rounds = int(shRounds)
-		sh.pending = sh.pending[:0]
-		if sh.sampler == nil {
-			continue
-		}
-		if err := sampler.LoadState(r, sh.sampler); err != nil {
-			return err
-		}
-		if err := sh.acc.LoadSnapshot(r); err != nil {
+		if err := loadShardBlock(r, sh); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// loadShardBlock restores one shard from a block written by
+// appendShardBlock; the shard must have the same sampler layout.
+func loadShardBlock(r *snapshot.Reader, sh *shardState) error {
+	hi := r.Uint64()
+	lo := r.Uint64()
+	shRounds := r.Int64()
+	hasSampler := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if shRounds < 0 || hasSampler != (sh.sampler != nil) {
+		return fmt.Errorf("shard: snapshot sampler layout does not match engine config: %w", snapshot.ErrCorrupt)
+	}
+	sh.rng.SetState(hi, lo)
+	sh.rounds = int(shRounds)
+	sh.pending = sh.pending[:0]
+	if sh.sampler == nil {
+		return nil
+	}
+	if err := sampler.LoadState(r, sh.sampler); err != nil {
+		return err
+	}
+	return sh.acc.LoadSnapshot(r)
 }

@@ -1,0 +1,227 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+	"time"
+
+	"robustsample/shard"
+)
+
+// TestServeSupervisedHealth runs a supervised public session (checkpoints
+// on, no faults) and pins the health and coverage surface: checkpoint
+// counters advance, round accounting is exact, and the covered query
+// variants agree with the blocking ones under full coverage.
+func TestServeSupervisedHealth(t *testing.T) {
+	u := servingUniverse(t)
+	const S, n = 4, 3000
+	e, err := shard.New(u,
+		shard.WithShards(S), shard.WithReservoir(32), shard.WithSeed(7),
+		shard.WithWorkers(1),
+		shard.WithPipeline(shard.PipelineConfig{
+			Producers: 2, CheckpointEvery: 128, QueryWait: time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := servingValues(n)
+	for lane := 0; lane < 2; lane++ {
+		pr, err := srv.Producer(lane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.OfferBatch(stream[lane*n/2 : (lane+1)*n/2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Flush()
+
+	h := srv.Health()
+	if !h.Supervised || h.Degraded() {
+		t.Fatalf("health = %+v, want supervised and healthy", h)
+	}
+	if h.Crashes != 0 || h.Restores != 0 || h.LostRounds != 0 {
+		t.Fatalf("fault-free run reports crashes/restores/losses: %+v", h)
+	}
+	if h.Checkpoints < uint64(S) {
+		t.Fatalf("checkpoints = %d, want at least the %d baselines", h.Checkpoints, S)
+	}
+	rounds := 0
+	for i, sh := range h.Shards {
+		if sh.Status != shard.Healthy {
+			t.Fatalf("shard %d status %v", i, sh.Status)
+		}
+		rounds += sh.Rounds
+	}
+	if rounds != n {
+		t.Fatalf("health rounds sum %d, want %d", rounds, n)
+	}
+
+	wantV, err := srv.Verdict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, cov, err := srv.VerdictCovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Complete() || cov.Covered != n || cov.Routed != n || len(cov.Stalled) != 0 {
+		t.Fatalf("quiescent coverage = %+v, want complete over %d rounds", cov, n)
+	}
+	if gotV != wantV {
+		t.Fatalf("VerdictCovered %+v under full coverage, Verdict %+v", gotV, wantV)
+	}
+	wantSample := srv.Sample()
+	gotSample, cov2, err := srv.SampleCovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov2.Complete() || !slices.Equal(gotSample, wantSample) {
+		t.Fatalf("SampleCovered diverged from Sample under full coverage")
+	}
+	gs, cov3, err := srv.GlobalSampleCovered(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov3.Complete() || len(gs) != 16 {
+		t.Fatalf("GlobalSampleCovered = %d elements, coverage %+v", len(gs), cov3)
+	}
+	if _, _, err := srv.GlobalSampleCovered(0); !errors.Is(err, shard.ErrBadSample) {
+		t.Fatalf("GlobalSampleCovered(0) = %v, want ErrBadSample", err)
+	}
+	srv.Close()
+	if got := e.Rounds(); got != n {
+		t.Fatalf("post-Close rounds %d, want %d", got, n)
+	}
+}
+
+// TestServeUnsupervisedHealth pins the health view without supervision:
+// still available, with exact per-shard rounds and no recovery counters.
+func TestServeUnsupervisedHealth(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(2), shard.WithReservoir(8), shard.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := srv.Producer(0)
+	if err := pr.OfferBatch(servingValues(500)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	h := srv.Health()
+	if h.Supervised {
+		t.Fatalf("unsupervised session reports Supervised")
+	}
+	rounds := 0
+	for _, sh := range h.Shards {
+		rounds += sh.Rounds
+	}
+	if rounds != 500 || h.Degraded() {
+		t.Fatalf("health = %+v, want 500 healthy rounds", h)
+	}
+	srv.Close()
+}
+
+// TestServeContextOffers pins the ctx-aware producer surface: the context
+// variants behave like the blocking ones when backpressure clears, and
+// every variant reports ErrServingClosed after Close.
+func TestServeContextOffers(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(2), shard.WithReservoir(8), shard.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e.Serve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := srv.Producer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := pr.OfferContext(ctx, 11); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := pr.OfferBatchContext(ctx, servingValues(100)); err != nil || n != 100 {
+		t.Fatalf("OfferBatchContext = (%d, %v), want (100, nil)", n, err)
+	}
+	// Encoding errors stay atomic: nothing submitted, error is the codec's.
+	if _, err := pr.OfferBatchContext(ctx, []int64{5, 1 << 20}); err == nil {
+		t.Fatal("OfferBatchContext accepted an out-of-universe element")
+	}
+	srv.Flush()
+	if got := srv.Rounds(); got != 101 {
+		t.Fatalf("rounds = %d, want 101", got)
+	}
+	srv.Close()
+	if err := pr.Offer(3); !errors.Is(err, shard.ErrServingClosed) {
+		t.Fatalf("Offer after Close = %v, want ErrServingClosed", err)
+	}
+	if err := pr.OfferContext(ctx, 3); !errors.Is(err, shard.ErrServingClosed) {
+		t.Fatalf("OfferContext after Close = %v, want ErrServingClosed", err)
+	}
+	if err := pr.OfferBatch([]int64{3}); !errors.Is(err, shard.ErrServingClosed) {
+		t.Fatalf("OfferBatch after Close = %v, want ErrServingClosed", err)
+	}
+	if n, err := pr.OfferBatchContext(ctx, []int64{3}); n != 0 || !errors.Is(err, shard.ErrServingClosed) {
+		t.Fatalf("OfferBatchContext after Close = (%d, %v), want (0, ErrServingClosed)", n, err)
+	}
+}
+
+// TestServeCloseContext pins the public drain-deadline surface on the
+// happy path: CloseContext drains, closes the session, and agrees with the
+// idempotent Close.
+func TestServeCloseContext(t *testing.T) {
+	u := servingUniverse(t)
+	e, err := shard.New(u, shard.WithShards(2), shard.WithReservoir(8), shard.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := e.Serve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := srv.Producer(0)
+	if err := pr.OfferBatch(servingValues(300)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ep, err := srv.CloseContext(ctx)
+	if err != nil {
+		t.Fatalf("CloseContext: %v", err)
+	}
+	if ep.Applied != 300 {
+		t.Fatalf("drain epoch applied %d, want 300", ep.Applied)
+	}
+	if again := srv.Close(); again != ep {
+		t.Fatalf("Close after CloseContext = %+v, want the same epoch %+v", again, ep)
+	}
+	// The engine is back to serial use.
+	if _, err := e.OfferBatch(servingValues(10)); err != nil {
+		t.Fatalf("serial OfferBatch after CloseContext: %v", err)
+	}
+	if got := e.Rounds(); got != 310 {
+		t.Fatalf("rounds = %d, want 310", got)
+	}
+}
+
+// TestWithPipelineValidation pins option validation for the new knobs.
+func TestWithPipelineValidation(t *testing.T) {
+	u := servingUniverse(t)
+	if _, err := shard.New(u, shard.WithReservoir(8),
+		shard.WithPipeline(shard.PipelineConfig{CheckpointEvery: -1})); err == nil {
+		t.Fatal("New accepted a negative checkpoint interval")
+	}
+}

@@ -7,8 +7,10 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"robustsample/internal/runtime"
 	ishard "robustsample/internal/shard"
@@ -40,6 +42,24 @@ type PipelineConfig struct {
 	// instead: producers route their own elements lock-free, and the
 	// ingested interleaving is whatever concurrency produced.
 	Deterministic bool
+	// CheckpointEvery enables crash supervision: each shard snapshots its
+	// state roughly every CheckpointEvery applied elements, and a
+	// panicking consumer restores the shard from its latest checkpoint
+	// and retries instead of killing the process. Deterministic sessions
+	// additionally replay a redo journal, so recovery is bit-identical
+	// and loses nothing; live sessions lose at most one checkpoint
+	// interval per crash, reconciled in the session's round counters.
+	// 0 (the default) disables supervision — a consumer panic then
+	// propagates and kills the process, exactly as before.
+	CheckpointEvery int
+	// RetryLimit is how many times a failing chunk is retried from the
+	// restored checkpoint before being dropped (its elements count as
+	// lost rounds); <= 0 selects 2. Only meaningful with supervision.
+	RetryLimit int
+	// QueryWait bounds how long the degraded reads (VerdictCovered,
+	// SampleCovered, GlobalSampleCovered) wait per shard lock before
+	// skipping the shard; <= 0 selects 5ms.
+	QueryWait time.Duration
 }
 
 // WithPipeline configures the pipeline Serve starts (default: a one-lane
@@ -48,6 +68,9 @@ func WithPipeline(cfg PipelineConfig) Option {
 	return func(c *config) error {
 		if cfg.Producers < 0 {
 			return fmt.Errorf("shard: negative producer count %d", cfg.Producers)
+		}
+		if cfg.CheckpointEvery < 0 {
+			return fmt.Errorf("shard: negative checkpoint interval %d", cfg.CheckpointEvery)
 		}
 		c.pipeline = cfg
 		return nil
@@ -108,10 +131,13 @@ func (e *Engine[T]) Serve(ctx context.Context) (*Serving[T], error) {
 		pcfg.Producers = 1
 	}
 	inner, err := e.inner.Serve(ishard.ServeConfig{
-		Producers:     pcfg.Producers,
-		RingSize:      pcfg.RingSize,
-		ChunkCap:      pcfg.ChunkCap,
-		Deterministic: pcfg.Deterministic,
+		Producers:       pcfg.Producers,
+		RingSize:        pcfg.RingSize,
+		ChunkCap:        pcfg.ChunkCap,
+		Deterministic:   pcfg.Deterministic,
+		CheckpointEvery: pcfg.CheckpointEvery,
+		RetryLimit:      pcfg.RetryLimit,
+		QueryWait:       pcfg.QueryWait,
 	})
 	if err != nil {
 		return nil, err
@@ -145,36 +171,78 @@ func (s *Serving[T]) Producer(i int) (*Producer[T], error) {
 // NumProducers returns the lane count.
 func (s *Serving[T]) NumProducers() int { return len(s.prods) }
 
-// Offer submits one element on this lane, blocking briefly under
-// backpressure. After the session closes it reports ErrServingClosed.
+// mapServeErr translates the internal pipeline's sentinels to the public
+// ones: a closed pipeline reports ErrServingClosed; backpressure timeouts
+// (already matching both ErrBackpressure and the ctx error) pass through.
+func mapServeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, runtime.ErrClosed) {
+		return ErrServingClosed
+	}
+	return err
+}
+
+// Offer submits one element on this lane, blocking under backpressure
+// until accepted. After the session closes it reports ErrServingClosed.
 func (p *Producer[T]) Offer(x T) error {
 	v, err := p.s.e.u.Encode(x)
 	if err != nil {
 		return err
 	}
-	if err := p.inner.Offer(v); err != nil {
-		return ErrServingClosed
+	return mapServeErr(p.inner.Offer(v))
+}
+
+// OfferContext is Offer with bounded waiting: if the element cannot be
+// accepted before ctx is done (consumers not keeping up), it gives up and
+// returns an error matching both ErrBackpressure and the ctx error.
+// Backpressure waits use jittered exponential backoff, so stalled lanes do
+// not spin.
+func (p *Producer[T]) OfferContext(ctx context.Context, x T) error {
+	v, err := p.s.e.u.Encode(x)
+	if err != nil {
+		return err
 	}
-	return nil
+	return mapServeErr(p.inner.OfferCtx(ctx, v))
 }
 
 // OfferBatch submits a run of consecutive elements on this lane. The batch
 // is atomic against encoding errors: if any element is outside the
 // universe, nothing is submitted.
 func (p *Producer[T]) OfferBatch(xs []T) error {
+	buf, err := p.encode(xs)
+	if err != nil {
+		return err
+	}
+	return mapServeErr(p.inner.OfferBatch(buf))
+}
+
+// OfferBatchContext is OfferBatch with bounded waiting: it submits as much
+// of the batch as backpressure allows before ctx is done and returns how
+// many elements were accepted, with an error matching both ErrBackpressure
+// and the ctx error if it could not finish. Encoding errors are still
+// atomic: if any element is outside the universe, nothing is submitted.
+func (p *Producer[T]) OfferBatchContext(ctx context.Context, xs []T) (int, error) {
+	buf, err := p.encode(xs)
+	if err != nil {
+		return 0, err
+	}
+	n, err := p.inner.OfferBatchCtx(ctx, buf)
+	return n, mapServeErr(err)
+}
+
+func (p *Producer[T]) encode(xs []T) ([]int64, error) {
 	buf := p.buf[:0]
 	for _, x := range xs {
 		v, err := p.s.e.u.Encode(x)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		buf = append(buf, v)
 	}
 	p.buf = buf
-	if err := p.inner.OfferBatch(buf); err != nil {
-		return ErrServingClosed
-	}
-	return nil
+	return buf, nil
 }
 
 // Close marks the lane done. In deterministic mode this removes it from

@@ -30,6 +30,7 @@ import (
 
 	"robustsample/internal/game"
 	"robustsample/internal/rng"
+	"robustsample/internal/runtime"
 	"robustsample/internal/sampler"
 	"robustsample/internal/setsystem"
 	ishard "robustsample/internal/shard"
@@ -60,6 +61,14 @@ var (
 	ErrServingClosed = errors.New("shard: serving session is closed")
 	// ErrBadProducer reports a producer lane index outside [0, Producers).
 	ErrBadProducer = errors.New("shard: producer lane index out of range")
+	// ErrBackpressure reports an OfferContext/OfferBatchContext whose ctx
+	// expired while the pipeline was applying backpressure (consumers not
+	// keeping up); the returned error also matches the ctx error.
+	ErrBackpressure = runtime.ErrBackpressure
+	// ErrDrainTimeout reports a CloseContext whose ctx expired before the
+	// shutdown drain finished; the drain continues in the background and
+	// the returned error also matches the ctx error.
+	ErrDrainTimeout = runtime.ErrDrainTimeout
 )
 
 // RouterKind selects how elements are routed to shards.

@@ -1,6 +1,9 @@
 package sketch
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Concurrent lifts any Sketch[T] into a goroutine-safe one: offers, merges
 // and restores serialize behind a write lock while reads (View, Len,
@@ -84,11 +87,16 @@ func (c *Concurrent[T]) Query(lo, hi T) (float64, error) {
 // MergeFrom implements Sketch. When other is itself a *Concurrent, its read
 // lock is taken after the receiver's write lock; two sketches merging from
 // each other simultaneously can therefore deadlock — order such mutual
-// fan-ins externally.
+// fan-ins externally. Merging a sketch into itself reports ErrIncompatible
+// (it would self-deadlock on the receiver's own lock).
 func (c *Concurrent[T]) MergeFrom(other Sketch[T]) error {
+	oc, isConc := other.(*Concurrent[T])
+	if isConc && oc == c {
+		return fmt.Errorf("%w: cannot merge a sketch into itself", ErrIncompatible)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if oc, ok := other.(*Concurrent[T]); ok {
+	if isConc {
 		oc.mu.RLock()
 		defer oc.mu.RUnlock()
 		return c.inner.MergeFrom(oc.inner)

@@ -1,9 +1,11 @@
 package sketch_test
 
 import (
+	"errors"
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"robustsample/sketch"
 )
@@ -165,5 +167,41 @@ func TestConcurrentMergeFrom(t *testing.T) {
 	}
 	if got := a.Rounds(); got != 2001 {
 		t.Fatalf("merged Rounds = %d, want 2001", got)
+	}
+}
+
+// TestConcurrentSelfMerge pins the self-merge guard: merging a Concurrent
+// into itself reports ErrIncompatible instead of self-deadlocking on its
+// own lock.
+func TestConcurrentSelfMerge(t *testing.T) {
+	u, err := sketch.NewInt64Range(1, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := sketch.NewReservoir(u, 8, sketch.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sketch.NewConcurrent[int64](inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Offer(5)
+	done := make(chan error, 1)
+	go func() { done <- c.MergeFrom(c) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sketch.ErrIncompatible) {
+			t.Fatalf("self MergeFrom = %v, want ErrIncompatible", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self MergeFrom deadlocked")
+	}
+	// The sketch is still usable afterwards.
+	if _, err := c.Offer(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rounds(); got != 2 {
+		t.Fatalf("Rounds = %d, want 2", got)
 	}
 }
