@@ -34,6 +34,7 @@ var packages = []struct{ path, dir string }{
 	{"robustsample/quantile", "quantile"},
 	{"robustsample/topk", "topk"},
 	{"robustsample/shard", "shard"},
+	{"robustsample/switching", "switching"},
 }
 
 func main() {

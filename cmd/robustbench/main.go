@@ -23,6 +23,7 @@
 //	robustbench -exp E18 -shards 16  # sharded engine at S=16
 //	robustbench -exp E19 -producers 1,2,4,8,16,32  # serving scaling curve
 //	robustbench -exp E20 -faults "seed=1,crash=0.01"  # self-healing chaos run
+//	robustbench -exp E21             # sketch-switching vs oversampling race
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -42,7 +43,7 @@ import (
 func main() {
 	var (
 		all        = flag.Bool("all", false, "run every experiment")
-		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E20)")
+		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E21)")
 		fig        = flag.String("fig", "", "render a figure by ID (F1, F2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")

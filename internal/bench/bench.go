@@ -225,6 +225,7 @@ func All() []Experiment {
 		{"E18", "Section 1.3: sharded continuous sampling with mergeable verdicts", ExpE18},
 		{"E19", "Concurrent serving runtime: pipeline determinism and throughput vs producers", ExpE19},
 		{"E20", "Self-healing serving: crash recovery and degraded-read availability under injected faults", ExpE20},
+		{"E21", "Sketch-switching ([BJWY20]) raced against oversampling and a naive static baseline", ExpE21},
 	}
 	slices.SortFunc(exps, func(a, b Experiment) int {
 		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))

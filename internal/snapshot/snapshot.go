@@ -65,6 +65,14 @@ func AppendFloat64Slice(buf []byte, xs []float64) []byte {
 	return buf
 }
 
+// AppendBytes appends len(b) followed by the raw bytes, so variable-length
+// blobs (nested snapshot frames, most notably) self-delimit inside an outer
+// frame.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = AppendUint64(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
 // Reader consumes a snapshot byte stream. The zero value over a data slice
 // is ready to use; the first decode error sticks and every subsequent read
 // returns zero values, so codecs can decode a whole frame and check Err
@@ -153,6 +161,24 @@ func (r *Reader) sliceLen(elemSize int) int {
 		return 0
 	}
 	return int(n)
+}
+
+// Bytes reads a length-prefixed byte string written by AppendBytes; a zero
+// length yields nil. The returned slice is a copy, safe to retain.
+func (r *Reader) Bytes() []byte {
+	n := r.Uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)) {
+		r.err = ErrCorrupt
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := r.take(int(n))
+	return append([]byte(nil), b...)
 }
 
 // Int64Slice reads a length-prefixed []int64; a zero length yields nil.

@@ -60,6 +60,14 @@ type PipelineConfig struct {
 	// SampleCovered, GlobalSampleCovered) wait per shard lock before
 	// skipping the shard; <= 0 selects 5ms.
 	QueryWait time.Duration
+	// OnEpoch, when non-nil, is invoked synchronously with the completed
+	// epoch after every epoch-stamped barrier the session takes: each
+	// Flush, each Snapshot freeze, and the final drain of the first Close.
+	// It runs on the barrier caller's goroutine and must be safe for
+	// concurrent use when barriers are taken concurrently. Meta-sketches
+	// layered above the engine use it to drive rotation from the serving
+	// runtime — see robustsample/switching's Rotator.
+	OnEpoch func(Epoch)
 }
 
 // WithPipeline configures the pipeline Serve starts (default: a one-lane
@@ -95,6 +103,7 @@ type Serving[T any] struct {
 	e       *Engine[T]
 	inner   *ishard.Serving
 	prods   []*Producer[T]
+	onEpoch func(Epoch)
 	qmu     sync.Mutex // guards coordRNG for GlobalSample and Snapshot
 	done    chan struct{}
 	once    sync.Once
@@ -142,7 +151,7 @@ func (e *Engine[T]) Serve(ctx context.Context) (*Serving[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Serving[T]{e: e, inner: inner, done: make(chan struct{})}
+	s := &Serving[T]{e: e, inner: inner, onEpoch: pcfg.OnEpoch, done: make(chan struct{})}
 	s.prods = make([]*Producer[T], pcfg.Producers)
 	for i := range s.prods {
 		s.prods[i] = &Producer[T]{s: s, inner: inner.Producer(i)}
@@ -256,7 +265,18 @@ func (p *Producer[T]) Close() { p.inner.Close() }
 // In deterministic mode the sequencer can only order elements lane by lane
 // in rotation, so Flush completes once the rotation can cover everything
 // offered — close lanes that are finished, or keep lanes evenly fed.
-func (s *Serving[T]) Flush() Epoch { return fromRuntimeEpoch(s.inner.Flush()) }
+func (s *Serving[T]) Flush() Epoch {
+	ep := fromRuntimeEpoch(s.inner.Flush())
+	s.notifyEpoch(ep)
+	return ep
+}
+
+// notifyEpoch delivers a completed barrier epoch to the configured hook.
+func (s *Serving[T]) notifyEpoch(ep Epoch) {
+	if s.onEpoch != nil {
+		s.onEpoch(ep)
+	}
+}
 
 // Rounds returns the number of elements accepted so far (applied or still
 // in flight).
@@ -334,10 +354,11 @@ func (s *Serving[T]) Snapshot() ([]byte, error) {
 	s.qmu.Lock()
 	hi, lo := s.e.coordRNG.State()
 	s.qmu.Unlock()
-	out, _, err := s.inner.AppendState(s.e.snapPreamble(hi, lo))
+	out, ep, err := s.inner.AppendState(s.e.snapPreamble(hi, lo))
 	if err != nil {
 		return nil, err
 	}
+	s.notifyEpoch(fromRuntimeEpoch(ep))
 	return out, nil
 }
 
@@ -349,6 +370,7 @@ func (s *Serving[T]) Close() Epoch {
 		s.closeEp = s.inner.Close()
 		s.e.srv.Store(nil)
 		close(s.done)
+		s.notifyEpoch(fromRuntimeEpoch(s.closeEp))
 	})
 	return fromRuntimeEpoch(s.closeEp)
 }

@@ -174,6 +174,8 @@ const (
 	FrameTopK byte = 17
 	// FrameShard tags robustsample/shard engine snapshots.
 	FrameShard byte = 18
+	// FrameSwitching tags robustsample/switching meta-sketch snapshots.
+	FrameSwitching byte = 19
 )
 
 var snapMagic = [4]byte{'R', 'S', 'K', 'T'}

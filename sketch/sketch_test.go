@@ -258,6 +258,47 @@ func TestSnapshotKindAndUniverseMismatch(t *testing.T) {
 	}
 }
 
+// TestRestoreRejectsOutOfUniverseSample pins the fuzz-found hardening:
+// a snapshot whose counters decode cleanly but whose sample holds a point
+// outside [1, |U|] must fail Restore with ErrBadSnapshot instead of
+// deferring the corruption to a decode panic in View.
+func TestRestoreRejectsOutOfUniverseSample(t *testing.T) {
+	u := mustU(sketch.NewInt64Universe(1000))
+	res, _ := sketch.NewReservoir(u, 8)
+	// A distinctive point so its little-endian encoding appears exactly
+	// once in the snapshot bytes (counters here are all small: k=8,
+	// rounds=1, len=1).
+	const point = int64(777)
+	if _, err := res.Offer(point); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, evil [8]byte
+	for i := range want {
+		want[i] = byte(uint64(point) >> (8 * i))
+		evil[i] = byte(uint64(5000) >> (8 * i)) // outside [1, 1000]
+	}
+	at := bytes.Index(snap, want[:])
+	if at < 0 || bytes.Index(snap[at+1:], want[:]) >= 0 {
+		t.Fatalf("sample point encoding not unique in snapshot")
+	}
+	bad := slices.Clone(snap)
+	copy(bad[at:], evil[:])
+	if err := res.Restore(bad); !errors.Is(err, sketch.ErrBadSnapshot) {
+		t.Fatalf("out-of-universe sample restore err = %v, want ErrBadSnapshot", err)
+	}
+	// The untampered snapshot still restores, and View stays panic-free.
+	if err := res.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.View(); len(got) != 1 || got[0] != point {
+		t.Fatalf("View after restore = %v, want [%d]", got, point)
+	}
+}
+
 func TestReservoirMergeFrom(t *testing.T) {
 	u := mustU(sketch.NewInt64Universe(1 << 12))
 	a, _ := sketch.NewReservoir(u, 32, sketch.WithSeed(1))

@@ -124,10 +124,20 @@ func (b *base[T]) readSnapHeader(data []byte, kind byte) (r *snapshot.Reader, hi
 	return r, hi, lo, nil
 }
 
-// finishRestore applies the RNG state and rejects trailing bytes.
-func (b *base[T]) finishRestore(r *snapshot.Reader, hi, lo uint64) error {
+// finishRestore validates the restored sample against the universe,
+// applies the RNG state and rejects trailing bytes. Point validation is
+// load-bearing: a corrupt snapshot whose counters decode cleanly can still
+// carry sample points no Decode can invert, and without this check the
+// corruption would surface later as a View panic instead of an
+// ErrBadSnapshot at the restore boundary (found by FuzzSwitchingSnapshot).
+func (b *base[T]) finishRestore(r *snapshot.Reader, hi, lo uint64, sample []int64) error {
 	if r.Len() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.Len())
+	}
+	for _, p := range sample {
+		if p < 1 || p > b.u.Size() {
+			return fmt.Errorf("%w: sample point %d outside universe [1, %d]", ErrBadSnapshot, p, b.u.Size())
+		}
 	}
 	b.rng.SetState(hi, lo)
 	return nil
@@ -305,7 +315,7 @@ func (s *Reservoir[T]) Restore(data []byte) error {
 	if err := sampler.LoadReservoirState(r, s.inner); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return s.base.finishRestore(r, hi, lo)
+	return s.base.finishRestore(r, hi, lo, s.inner.View())
 }
 
 // ---------------------------------------------------------------------------
@@ -406,7 +416,7 @@ func (s *ReservoirL[T]) Restore(data []byte) error {
 	if err := sampler.LoadReservoirLState(r, s.inner); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return s.base.finishRestore(r, hi, lo)
+	return s.base.finishRestore(r, hi, lo, s.inner.View())
 }
 
 // ---------------------------------------------------------------------------
@@ -534,7 +544,7 @@ func (s *Bernoulli[T]) Restore(data []byte) error {
 	if err := sampler.LoadBernoulliState(r, s.inner); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return s.base.finishRestore(r, hi, lo)
+	return s.base.finishRestore(r, hi, lo, s.inner.View())
 }
 
 // ---------------------------------------------------------------------------
@@ -664,5 +674,5 @@ func (s *Weighted[T]) Restore(data []byte) error {
 	if err := sampler.LoadWeightedState(r, s.inner); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return s.base.finishRestore(r, hi, lo)
+	return s.base.finishRestore(r, hi, lo, s.inner.View())
 }

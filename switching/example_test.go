@@ -1,0 +1,42 @@
+package switching_test
+
+import (
+	"fmt"
+
+	"robustsample/sketch"
+	"robustsample/switching"
+)
+
+// Example demonstrates the sketch-switching discipline: ingest an epoch
+// into the active copy, Advance at each checkpoint to freeze the published
+// output, and serve adaptive clients from Published while the analyst
+// reads the live union.
+func Example() {
+	u, _ := sketch.NewInt64Universe(1000)
+	sw, _ := switching.New(u, 4, func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+		return sketch.NewReservoir(u, 8, sketch.WithSeed(seed))
+	}, switching.WithSeed(1))
+
+	for epoch := int64(0); epoch < 4; epoch++ {
+		for x := int64(1); x <= 250; x++ {
+			if _, err := sw.Offer(epoch*250 + x); err != nil {
+				fmt.Println("offer:", err)
+				return
+			}
+		}
+		sw.Advance() // checkpoint: freeze output, move to a fresh copy
+	}
+
+	fmt.Println("copies:", sw.G())
+	fmt.Println("stream length:", sw.Rounds())
+	fmt.Println("union sample size:", sw.Len())
+	fmt.Println("published size:", sw.PublishedLen())
+	density, _ := sw.QueryPublished(1, 500)
+	fmt.Printf("published density of [1,500]: %.2f\n", density)
+	// Output:
+	// copies: 4
+	// stream length: 1000
+	// union sample size: 32
+	// published size: 32
+	// published density of [1,500]: 0.50
+}

@@ -1,0 +1,273 @@
+package switching_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"robustsample/sketch"
+	"robustsample/switching"
+)
+
+// fuzzBuild is the copy builder the fuzz target restores through; the
+// receiver's G deliberately differs from most corpus snapshots, because
+// Restore adopts the snapshot's copy count.
+func fuzzBuild(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+	return sketch.NewReservoir(u, 16, sketch.WithSeed(seed))
+}
+
+func fuzzSketch(t testing.TB) *switching.Sketch[int64] {
+	t.Helper()
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := switching.New(u, 3, fuzzBuild, switching.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// corpusSnapshots returns valid snapshots in several states: empty, fed,
+// rotated, exhausted, and a G different from the receiver's.
+func corpusSnapshots(t testing.TB) [][]byte {
+	t.Helper()
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	snap := func(sw *switching.Sketch[int64]) {
+		b, err := sw.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	sw := fuzzSketch(t)
+	snap(sw)
+	feedChunked(t, sw, testStream(300, 31), 64)
+	snap(sw)
+	sw.Advance()
+	feedChunked(t, sw, testStream(300, 32), 64)
+	snap(sw)
+	sw.Advance()
+	sw.Advance() // exhausted
+	snap(sw)
+	g5, err := switching.New(u, 5, fuzzBuild, switching.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedChunked(t, g5, testStream(100, 33), 64)
+	snap(g5)
+	return out
+}
+
+// FuzzSwitchingSnapshot fuzzes Restore with arbitrary bytes and checks the
+// codec laws on every accepted input: re-snapshot bit-identity, state
+// equality between two restores of the same bytes, and continuation
+// bit-identity (both restores evolve identically). Inputs that are not
+// FrameSwitching frames — including valid snapshots of other sketch types
+// — must be rejected, and nothing may panic.
+func FuzzSwitchingSnapshot(f *testing.F) {
+	for _, b := range corpusSnapshots(f) {
+		f.Add(b)
+		if len(b) > 10 {
+			f.Add(b[:len(b)-7]) // truncated
+			mut := bytes.Clone(b)
+			mut[len(mut)/2] ^= 0x41 // corrupt
+			f.Add(mut)
+		}
+	}
+	// Cross-type: a plain reservoir snapshot must be rejected by kind.
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := sketch.NewReservoir(u, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := res.OfferBatch(testStream(50, 34)); err != nil {
+		f.Fatal(err)
+	}
+	crossType, err := res.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(crossType)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sw := fuzzSketch(t)
+		if err := sw.Restore(data); err != nil {
+			if !errors.Is(err, sketch.ErrBadSnapshot) && !errors.Is(err, sketch.ErrIncompatible) {
+				t.Fatalf("Restore failed with a non-codec error: %v", err)
+			}
+			return
+		}
+		if kind, err := sketch.FrameKind(data); err != nil || kind != sketch.FrameSwitching {
+			t.Fatalf("accepted a non-switching frame: kind=%d err=%v", kind, err)
+		}
+
+		// Law 1: re-snapshot bit-identity.
+		snap1, err := sw.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot after Restore: %v", err)
+		}
+		tw := fuzzSketch(t)
+		if err := tw.Restore(snap1); err != nil {
+			t.Fatalf("Restore of re-snapshot: %v", err)
+		}
+		snap2, err := tw.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(snap1, snap2) {
+			t.Fatal("re-snapshot is not bit-identical")
+		}
+
+		// Law 2: state equality between the two restores.
+		if sw.G() != tw.G() || sw.Active() != tw.Active() || sw.Mode() != tw.Mode() ||
+			sw.Rounds() != tw.Rounds() || !equalInt64(sw.View(), tw.View()) ||
+			!equalInt64(sw.Published(), tw.Published()) {
+			t.Fatal("two restores of the same snapshot disagree")
+		}
+
+		// Law 3: continuation bit-identity — both restores must evolve
+		// identically on the same suffix stream, including a rotation.
+		suffix := testStream(200, 35)
+		feedChunked(t, sw, suffix, 64)
+		feedChunked(t, tw, suffix, 64)
+		sw.Advance()
+		tw.Advance()
+		if !equalInt64(sw.View(), tw.View()) || !equalInt64(sw.Published(), tw.Published()) {
+			t.Fatal("restored meta-sketches diverged on the same continuation")
+		}
+		c1, err := sw.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := tw.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatal("continuation snapshots are not bit-identical")
+		}
+	})
+}
+
+// TestSnapshotRoundTrip pins the directed cases the fuzz target explores:
+// a full round trip through every state in the corpus, including a
+// receiver whose configured G differs from the snapshot's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for i, snap := range corpusSnapshots(t) {
+		sw := fuzzSketch(t)
+		if err := sw.Restore(snap); err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		again, err := sw.Snapshot()
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		if !bytes.Equal(snap, again) {
+			t.Fatalf("corpus %d: restore/snapshot not bit-identical", i)
+		}
+	}
+}
+
+// TestRestoreRejections covers the validation matrix: cross-type frames,
+// truncation, corrupt fields, oversized counts and trailing garbage must
+// all fail with ErrBadSnapshot and leave the receiver untouched.
+func TestRestoreRejections(t *testing.T) {
+	sw := fuzzSketch(t)
+	feedChunked(t, sw, testStream(100, 36), 64)
+	sw.Advance()
+	before, err := sw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := sw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sketch.NewReservoir(u, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossType, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small, err := sketch.NewInt64Universe(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSw, err := switching.New(small, 2, fuzzBuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongUniverse, err := smallSw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad-magic":      []byte("NOPE!!"),
+		"cross-type":     crossType,
+		"wrong-universe": wrongUniverse,
+		"truncated":      good[:len(good)-5],
+		"header-only":    good[:6],
+		"trailing":       append(bytes.Clone(good), 0xFF),
+	}
+	// Field-level corruption: mode, G, active and a published point.
+	// Offsets: header(6) + size(8) + seed(8) = 22; mode at 22, G at 30,
+	// active at 38, published length at 46, first published point at 54.
+	for name, off := range map[string]int{"mode": 22, "copies": 30, "active": 38, "published-point": 54} {
+		mut := bytes.Clone(good)
+		for i := 0; i < 8 && off+i < len(mut); i++ {
+			mut[off+i] = 0xEE
+		}
+		cases["corrupt-"+name] = mut
+	}
+
+	for name, data := range cases {
+		if err := sw.Restore(data); !errors.Is(err, sketch.ErrBadSnapshot) {
+			t.Errorf("%s: Restore = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+
+	// Atomicity: every rejected restore left the receiver unchanged.
+	after, err := sw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("a rejected Restore mutated the receiver")
+	}
+
+	// A builder that fails during Restore surfaces its error (not a codec
+	// sentinel) and still leaves the receiver unchanged.
+	calls := 0
+	flaky, err := switching.New(u, 3, func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+		calls++
+		if calls > 4 { // survive New's 3 calls, fail inside Restore
+			return nil, errors.New("builder down")
+		}
+		return fuzzBuild(u, seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flaky.Restore(good); err == nil {
+		t.Fatal("Restore with a failing builder succeeded")
+	}
+}

@@ -1,0 +1,184 @@
+package switching_test
+
+import (
+	"sync"
+	"testing"
+
+	"robustsample/shard"
+	"robustsample/sketch"
+	"robustsample/switching"
+)
+
+// TestServingRotationProperty is the epoch-rotation property test under
+// the serving runtime: concurrent producers feed both a served shard
+// engine and a Concurrent-guarded switching sketch, every Flush barrier
+// drives one rotation through shard.PipelineConfig.OnEpoch + Rotator, and
+// concurrent queriers assert two properties throughout:
+//
+//   - conservation: at every atomic observation (and at the end), the
+//     elements offered so far equal the elements applied across all
+//     copies, and the per-copy rounds sum to the total;
+//   - no half-rotated views: the active index only moves forward, and
+//     while it is unchanged (and fresh copies remain) the published
+//     output is frozen bit-for-bit — a torn rotation would violate one
+//     of the two.
+//
+// CI runs the package under -race, which additionally checks the locking.
+func TestServingRotationProperty(t *testing.T) {
+	const (
+		producers = 4
+		perLane   = 2048
+		flushEach = 256
+		copies    = 8
+	)
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := switching.New(u, copies, func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+		return sketch.NewReservoir(u, 64, sketch.WithSeed(seed))
+	}, switching.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := sketch.NewConcurrent[int64](sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := switching.Rotator(1, func() {
+		conc.Do(func(sketch.Sketch[int64]) { sw.Advance() })
+	})
+
+	eng, err := shard.New(u,
+		shard.WithShards(2),
+		shard.WithReservoir(64),
+		shard.WithPipeline(shard.PipelineConfig{
+			Producers: producers,
+			OnEpoch:   func(ep shard.Epoch) { rot(ep.Seq) },
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := eng.Serve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var offered sync.WaitGroup
+	done := make(chan struct{})
+
+	// Queriers: atomic observations through Concurrent.Do.
+	var queriers sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			lastActive := -1
+			var lastPub []int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var active, rounds, copySum int
+				var pub []int64
+				var remaining int
+				conc.Do(func(sketch.Sketch[int64]) {
+					active = sw.Active()
+					remaining = sw.Remaining()
+					rounds = sw.Rounds()
+					pub = append([]int64(nil), sw.Published()...)
+					for i := 0; i < sw.G(); i++ {
+						r, err := sw.CopyRounds(i)
+						if err != nil {
+							t.Errorf("CopyRounds(%d): %v", i, err)
+							return
+						}
+						copySum += r
+					}
+				})
+				if copySum != rounds {
+					t.Errorf("conservation violated: copy rounds sum %d, Rounds %d", copySum, rounds)
+					return
+				}
+				if active < lastActive {
+					t.Errorf("active index went backwards: %d -> %d", lastActive, active)
+					return
+				}
+				if active == lastActive && remaining > 0 && !equalInt64(pub, lastPub) {
+					t.Errorf("published output moved without a rotation (active %d)", active)
+					return
+				}
+				for _, p := range pub {
+					if p < 1 || p > testUniverse {
+						t.Errorf("published holds torn point %d", p)
+						return
+					}
+				}
+				lastActive, lastPub = active, pub
+			}
+		}()
+	}
+
+	// Producers: every element goes to both the served engine and the
+	// meta-sketch; each lane takes a Flush barrier (= one rotation)
+	// every flushEach elements.
+	for lane := 0; lane < producers; lane++ {
+		offered.Add(1)
+		go func(lane int) {
+			defer offered.Done()
+			pr, err := srv.Producer(lane)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			xs := testStream(perLane, uint64(100+lane))
+			for i, x := range xs {
+				if err := pr.Offer(x); err != nil {
+					t.Errorf("lane %d: serve offer: %v", lane, err)
+					return
+				}
+				if _, err := conc.Offer(x); err != nil {
+					t.Errorf("lane %d: sketch offer: %v", lane, err)
+					return
+				}
+				if (i+1)%flushEach == 0 {
+					srv.Flush()
+				}
+			}
+			pr.Close()
+		}(lane)
+	}
+
+	offered.Wait()
+	srv.Flush()
+	srv.Close()
+	close(done)
+	queriers.Wait()
+
+	// Final conservation: everything offered was applied across the copies.
+	total := producers * perLane
+	if got := conc.Rounds(); got != total {
+		t.Fatalf("offered %d elements, copies applied %d", total, got)
+	}
+	sum := 0
+	for i := 0; i < sw.G(); i++ {
+		r, err := sw.CopyRounds(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += r
+	}
+	if sum != total {
+		t.Fatalf("per-copy rounds sum %d, offered %d", sum, total)
+	}
+	// With far more barriers than copies, rotation must have exhausted
+	// the ladder — proof the OnEpoch hook actually drove Advance.
+	if sw.Active() != copies-1 {
+		t.Fatalf("rotation did not run: active %d, want %d", sw.Active(), copies-1)
+	}
+	if sw.PublishedLen() == 0 {
+		t.Fatal("no output was ever published")
+	}
+}

@@ -1,0 +1,520 @@
+// Package switching implements the sketch-switching meta-sketch of
+// "A Framework for Adversarially Robust Streaming Algorithms" (Ben-Eliezer,
+// Jayaram, Woodruff & Yogev, PODS 2020) — the generic robustness mechanism
+// that is the companion to the oversampling approach of "The Adversarial
+// Robustness of Sampling" (Ben-Eliezer & Yogev, PODS 2020).
+//
+// Where oversampling buys robustness by growing one sample until union
+// bounds absorb every adaptive query, sketch-switching buys it by feedback
+// denial: the meta-sketch keeps G independent copies of an arbitrary
+// static sketch, feeds the stream to one copy at a time, and freezes its
+// published output between epoch switches. Within an epoch the adversary
+// learns nothing new — the output it observes never moves — so an adaptive
+// attack degrades to an oblivious one against each copy, and a static
+// (VC-dimension sized) sketch per epoch suffices. The price is space:
+// G copies cost G x the static size, against oversampling's single
+// ln|R|-sized sample. Experiment E21 races the two mechanisms under the
+// repository's attack zoo.
+//
+// Sketch[T] implements sketch.Sketch[T], so everything built on that
+// interface — sketch.Concurrent, snapshots through the versioned codec
+// layer, coordinator fan-in — composes with it. Rotation is driven either
+// directly (Advance) or from the serving runtime's epoch-stamped barriers
+// via shard.PipelineConfig.OnEpoch and the Rotator adapter.
+package switching
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"robustsample/internal/rng"
+	"robustsample/internal/snapshot"
+	"robustsample/sketch"
+)
+
+// Sentinel errors specific to the meta-sketch; codec and compatibility
+// failures reuse the sketch package's sentinels (sketch.ErrBadSnapshot,
+// sketch.ErrIncompatible, ...). Test with errors.Is.
+var (
+	// ErrBadCopies reports a copy count G below 1.
+	ErrBadCopies = errors.New("switching: copy count G must be >= 1")
+	// ErrNilBuilder reports a nil copy builder.
+	ErrNilBuilder = errors.New("switching: builder must be non-nil")
+	// ErrBadCopyIndex reports a copy index outside [0, G).
+	ErrBadCopyIndex = errors.New("switching: copy index out of range")
+)
+
+// Mode selects what View, Len and Query report.
+type Mode int
+
+const (
+	// ModeUnion serves queries from the union of all copies in copy order
+	// — the analyst's end-of-stream estimate, each epoch represented by
+	// its own copy's sample ([BJWY20]'s robustness composition).
+	ModeUnion Mode = iota
+	// ModeActive serves queries from the active copy only — the flip-style
+	// variant where each epoch answers from the copy currently ingesting.
+	ModeActive
+)
+
+// Builder constructs one copy of the wrapped sketch over universe u, seeded
+// with seed. New and Restore call it once per copy with split-RNG derived
+// seeds (DeriveSeed); the builder must honor both arguments — in particular
+// it must pass seed through sketch.WithSeed — for the determinism and
+// snapshot contracts to hold.
+type Builder[T any] func(u sketch.Universe[T], seed uint64) (sketch.Sketch[T], error)
+
+type config struct {
+	seed uint64
+	mode Mode
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// WithSeed sets the root seed the per-copy seeds derive from (default
+// sketch.DefaultSeed). Two meta-sketches with equal configuration, root
+// seed and input are bit-identical.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithMode selects the query mode (default ModeUnion).
+func WithMode(m Mode) Option {
+	return func(c *config) error {
+		if m != ModeUnion && m != ModeActive {
+			return fmt.Errorf("switching: unknown mode %d", m)
+		}
+		c.mode = m
+		return nil
+	}
+}
+
+// DeriveSeed returns the seed of copy i under root seed root. It is
+// exported so differential tests (and distributed deployments splitting
+// copies across processes) can construct standalone sketches bit-identical
+// to the meta-sketch's copies.
+func DeriveSeed(root uint64, i int) uint64 {
+	// Golden-ratio stride plus a splitmix finalizer: the same split
+	// discipline rng.Split uses, without consuming the sketch RNG streams.
+	return rng.Mix64(root + 0x9e3779b97f4a7c15*uint64(i+1))
+}
+
+// Sketch is the sketch-switching meta-sketch: G independent copies of a
+// wrapped sketch, one active at a time. Offer and OfferBatch feed the
+// active copy; Advance freezes the published output and moves ingest to
+// the next fresh copy. Like every sketch.Sketch it is deterministic given
+// its seed and input and not safe for concurrent use — wrap it in
+// sketch.NewConcurrent to share it across goroutines.
+type Sketch[T any] struct {
+	u         sketch.Universe[T]
+	build     Builder[T]
+	seed      uint64
+	mode      Mode
+	copies    []sketch.Sketch[T]
+	active    int
+	published []int64
+}
+
+var _ sketch.Sketch[int64] = (*Sketch[int64])(nil)
+
+// New returns a meta-sketch of g copies built by build over u. Copy i is
+// seeded DeriveSeed(seed, i) from the root seed (WithSeed).
+func New[T any](u sketch.Universe[T], g int, build Builder[T], opts ...Option) (*Sketch[T], error) {
+	if u == nil {
+		return nil, sketch.ErrNilUniverse
+	}
+	if u.Size() < 1 {
+		return nil, fmt.Errorf("%w: size %d", sketch.ErrBadUniverse, u.Size())
+	}
+	if g < 1 {
+		return nil, fmt.Errorf("%w: G=%d", ErrBadCopies, g)
+	}
+	if build == nil {
+		return nil, ErrNilBuilder
+	}
+	c := config{seed: sketch.DefaultSeed, mode: ModeUnion}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	s := &Sketch[T]{u: u, build: build, mode: c.mode}
+	copies, err := s.buildCopies(g, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	s.copies, s.seed = copies, c.seed
+	return s, nil
+}
+
+// buildCopies constructs g fresh copies under root seed seed.
+func (s *Sketch[T]) buildCopies(g int, seed uint64) ([]sketch.Sketch[T], error) {
+	copies := make([]sketch.Sketch[T], g)
+	for i := range copies {
+		c, err := s.build(s.u, DeriveSeed(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("switching: building copy %d: %w", i, err)
+		}
+		if c == nil {
+			return nil, fmt.Errorf("%w: builder returned nil for copy %d", sketch.ErrNilSketch, i)
+		}
+		copies[i] = c
+	}
+	return copies, nil
+}
+
+// G returns the copy count.
+func (s *Sketch[T]) G() int { return len(s.copies) }
+
+// Active returns the index of the copy currently receiving the stream.
+func (s *Sketch[T]) Active() int { return s.active }
+
+// Remaining returns how many fresh copies are left after the active one.
+func (s *Sketch[T]) Remaining() int { return len(s.copies) - 1 - s.active }
+
+// Mode returns the query mode.
+func (s *Sketch[T]) Mode() Mode { return s.mode }
+
+// Seed returns the root seed the per-copy seeds derive from.
+func (s *Sketch[T]) Seed() uint64 { return s.seed }
+
+// Offer implements sketch.Sketch, feeding the active copy. The admission
+// bit refers to the active copy's sample; robustness against adaptive
+// adversaries additionally requires that they observe only Published —
+// the [BJWY20] model hides within-epoch feedback, unlike the oversampling
+// model, which tolerates full disclosure.
+func (s *Sketch[T]) Offer(x T) (bool, error) { return s.copies[s.active].Offer(x) }
+
+// OfferBatch implements sketch.Sketch, feeding the active copy. The batch
+// is atomic against encoding errors, inherited from the wrapped sketch.
+func (s *Sketch[T]) OfferBatch(xs []T) (int, error) { return s.copies[s.active].OfferBatch(xs) }
+
+// Advance freezes the published output at the current state and moves
+// ingest to the next fresh copy. It reports whether a fresh copy was
+// available: once all G copies are spent the meta-sketch stays on the last
+// copy (still re-publishing on every call) and returns false — size G to
+// the number of epochs ([BJWY20] Theorem: G = number of output changes).
+func (s *Sketch[T]) Advance() bool {
+	s.publish()
+	if s.active+1 < len(s.copies) {
+		s.active++
+		return true
+	}
+	return false
+}
+
+// publish recaptures the frozen output from the current query view.
+func (s *Sketch[T]) publish() { s.published = s.encodedView(nil) }
+
+// encodedView appends the mode-selected sample as universe points.
+func (s *Sketch[T]) encodedView(buf []int64) []int64 {
+	if s.mode == ModeActive {
+		return s.appendEncoded(buf, s.copies[s.active])
+	}
+	for _, c := range s.copies {
+		buf = s.appendEncoded(buf, c)
+	}
+	return buf
+}
+
+func (s *Sketch[T]) appendEncoded(buf []int64, c sketch.Sketch[T]) []int64 {
+	for _, x := range c.View() {
+		p, err := s.u.Encode(x)
+		if err != nil {
+			panic(fmt.Sprintf("switching: sample holds unencodable element: %v", err))
+		}
+		buf = append(buf, p)
+	}
+	return buf
+}
+
+// decodeAll decodes universe points produced by Encode.
+func (s *Sketch[T]) decodeAll(ps []int64) []T {
+	out := make([]T, len(ps))
+	for i, p := range ps {
+		x, err := s.u.Decode(p)
+		if err != nil {
+			panic(fmt.Sprintf("switching: sample holds undecodable point %d: %v", p, err))
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Published returns the frozen output: the sample as of the last Advance
+// (nil before the first). Between Advances it never changes — the property
+// that denies adaptive adversaries within-epoch feedback.
+func (s *Sketch[T]) Published() []T { return s.decodeAll(s.published) }
+
+// PublishedLen returns the frozen output's size without decoding it.
+func (s *Sketch[T]) PublishedLen() int { return len(s.published) }
+
+// QueryPublished returns the density of [lo, hi] in the frozen output,
+// sketch.ErrEmpty before the first Advance — the query surface to expose
+// to untrusted/adaptive clients.
+func (s *Sketch[T]) QueryPublished(lo, hi T) (float64, error) {
+	elo, ehi, err := s.encodedRange(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return rangeDensity(s.published, elo, ehi)
+}
+
+// View implements sketch.Sketch: the union of all copies' samples in copy
+// order (ModeUnion) or the active copy's sample (ModeActive). This is the
+// live analyst view; adaptive clients should see Published instead.
+func (s *Sketch[T]) View() []T { return s.decodeAll(s.encodedView(nil)) }
+
+// CopyView returns copy i's current sample.
+func (s *Sketch[T]) CopyView(i int) ([]T, error) {
+	if i < 0 || i >= len(s.copies) {
+		return nil, fmt.Errorf("%w: %d of G=%d", ErrBadCopyIndex, i, len(s.copies))
+	}
+	return s.copies[i].View(), nil
+}
+
+// CopyRounds returns how many elements copy i has ingested.
+func (s *Sketch[T]) CopyRounds(i int) (int, error) {
+	if i < 0 || i >= len(s.copies) {
+		return 0, fmt.Errorf("%w: %d of G=%d", ErrBadCopyIndex, i, len(s.copies))
+	}
+	return s.copies[i].Rounds(), nil
+}
+
+// Len implements sketch.Sketch for the mode-selected view.
+func (s *Sketch[T]) Len() int {
+	if s.mode == ModeActive {
+		return s.copies[s.active].Len()
+	}
+	n := 0
+	for _, c := range s.copies {
+		n += c.Len()
+	}
+	return n
+}
+
+// Rounds implements sketch.Sketch: the total elements offered across all
+// copies (the whole stream, regardless of mode).
+func (s *Sketch[T]) Rounds() int {
+	n := 0
+	for _, c := range s.copies {
+		n += c.Rounds()
+	}
+	return n
+}
+
+func (s *Sketch[T]) encodedRange(lo, hi T) (elo, ehi int64, err error) {
+	elo, err = s.u.Encode(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	ehi, err = s.u.Encode(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if elo > ehi {
+		return 0, 0, fmt.Errorf("%w: lo sorts after hi", sketch.ErrBadRange)
+	}
+	return elo, ehi, nil
+}
+
+func rangeDensity(sample []int64, elo, ehi int64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	in := 0
+	for _, p := range sample {
+		if p >= elo && p <= ehi {
+			in++
+		}
+	}
+	return float64(in) / float64(len(sample)), nil
+}
+
+// Query implements sketch.Sketch over the mode-selected live view.
+func (s *Sketch[T]) Query(lo, hi T) (float64, error) {
+	elo, ehi, err := s.encodedRange(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return rangeDensity(s.encodedView(nil), elo, ehi)
+}
+
+// MergeFrom implements sketch.Sketch: copy-wise fan-in of another
+// meta-sketch with the same G, mode and universe size — copy i absorbs the
+// other's copy i under the wrapped sketch's own merge semantics, the
+// active index advances to the later of the two, and the published output
+// is refreshed (a merge is a coordinator epoch event). Merging a
+// meta-sketch into itself reports ErrIncompatible. On a mid-merge error
+// from a wrapped copy the receiver is partially merged; Reset recovers a
+// usable empty meta-sketch.
+func (s *Sketch[T]) MergeFrom(other sketch.Sketch[T]) error {
+	o, ok := other.(*Sketch[T])
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *switching.Sketch", sketch.ErrIncompatible, other)
+	}
+	if o == s {
+		return fmt.Errorf("%w: cannot merge a meta-sketch into itself", sketch.ErrIncompatible)
+	}
+	if s.u.Size() != o.u.Size() {
+		return fmt.Errorf("%w: universe sizes %d and %d", sketch.ErrIncompatible, s.u.Size(), o.u.Size())
+	}
+	if len(s.copies) != len(o.copies) {
+		return fmt.Errorf("%w: copy counts %d and %d", sketch.ErrIncompatible, len(s.copies), len(o.copies))
+	}
+	if s.mode != o.mode {
+		return fmt.Errorf("%w: modes %d and %d", sketch.ErrIncompatible, s.mode, o.mode)
+	}
+	for i := range s.copies {
+		if err := s.copies[i].MergeFrom(o.copies[i]); err != nil {
+			return fmt.Errorf("switching: merging copy %d: %w", i, err)
+		}
+	}
+	if o.active > s.active {
+		s.active = o.active
+	}
+	s.publish()
+	return nil
+}
+
+// Reset implements sketch.Sketch: every copy resets to its derived seed,
+// ingest returns to copy 0, and the published output clears.
+func (s *Sketch[T]) Reset() {
+	for _, c := range s.copies {
+		c.Reset()
+	}
+	s.active = 0
+	s.published = nil
+}
+
+// Snapshot implements sketch.Sketch: a FrameSwitching frame holding the
+// root seed, mode, copy count, active index, the frozen output and each
+// copy's own versioned snapshot, length-prefixed. Deterministic: equal
+// states serialize to equal bytes.
+func (s *Sketch[T]) Snapshot() ([]byte, error) {
+	buf := sketch.AppendFrameHeader(nil, sketch.FrameSwitching)
+	buf = snapshot.AppendInt64(buf, s.u.Size())
+	buf = snapshot.AppendUint64(buf, s.seed)
+	buf = snapshot.AppendUint64(buf, uint64(s.mode))
+	buf = snapshot.AppendUint64(buf, uint64(len(s.copies)))
+	buf = snapshot.AppendUint64(buf, uint64(s.active))
+	buf = snapshot.AppendInt64Slice(buf, s.published)
+	for i, c := range s.copies {
+		inner, err := c.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("switching: snapshotting copy %d: %w", i, err)
+		}
+		buf = snapshot.AppendBytes(buf, inner)
+	}
+	return buf, nil
+}
+
+// Restore implements sketch.Sketch. The snapshot's configuration (root
+// seed, mode, copy count, active index) replaces the receiver's; copies
+// are rebuilt through the builder and restored from their embedded
+// snapshots, so a snapshot taken with a different G restores cleanly.
+// Restore is atomic: on any error the receiver is unchanged.
+func (s *Sketch[T]) Restore(data []byte) error {
+	r, err := sketch.ReadFrameHeader(data, sketch.FrameSwitching)
+	if err != nil {
+		return err
+	}
+	size := r.Int64()
+	seed := r.Uint64()
+	mode := r.Uint64()
+	g := r.Uint64()
+	active := r.Uint64()
+	published := r.Int64Slice()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", sketch.ErrBadSnapshot, err)
+	}
+	if size != s.u.Size() {
+		return fmt.Errorf("%w: snapshot universe size %d, sketch has %d", sketch.ErrBadSnapshot, size, s.u.Size())
+	}
+	if mode != uint64(ModeUnion) && mode != uint64(ModeActive) {
+		return fmt.Errorf("%w: unknown mode %d", sketch.ErrBadSnapshot, mode)
+	}
+	// Each copy snapshot is at least a length prefix; an implausibly large
+	// G against the remaining bytes is corruption, not an allocation order.
+	if g < 1 || g > uint64(r.Len()/8)+1 {
+		return fmt.Errorf("%w: copy count %d", sketch.ErrBadSnapshot, g)
+	}
+	if active >= g {
+		return fmt.Errorf("%w: active copy %d of %d", sketch.ErrBadSnapshot, active, g)
+	}
+	for _, p := range published {
+		if p < 1 || p > size {
+			return fmt.Errorf("%w: published point %d outside universe [1, %d]", sketch.ErrBadSnapshot, p, size)
+		}
+	}
+	copies := make([]sketch.Sketch[T], g)
+	for i := range copies {
+		blob := r.Bytes()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("%w: copy %d: %v", sketch.ErrBadSnapshot, i, err)
+		}
+		c, err := s.build(s.u, DeriveSeed(seed, i))
+		if err != nil {
+			return fmt.Errorf("switching: rebuilding copy %d: %w", i, err)
+		}
+		if c == nil {
+			return fmt.Errorf("%w: builder returned nil for copy %d", sketch.ErrNilSketch, i)
+		}
+		// The wrapped Restore validates its own frame kind, so a snapshot
+		// whose copies came from a different sketch type is rejected here.
+		if err := c.Restore(blob); err != nil {
+			return fmt.Errorf("switching: restoring copy %d: %w", i, err)
+		}
+		copies[i] = c
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", sketch.ErrBadSnapshot, r.Len())
+	}
+	s.copies, s.seed, s.mode, s.active, s.published = copies, seed, Mode(mode), int(active), published
+	return nil
+}
+
+// Rotator adapts Advance-style rotation to the serving runtime's
+// epoch-stamped barriers: the returned hook calls advance once per `every`
+// distinct barrier sequence numbers it observes (every < 1 selects 1).
+// Wire it as
+//
+//	rot := switching.Rotator(1, func() { c.Do(func(sketch.Sketch[T]) { sw.Advance() }) })
+//	shard.WithPipeline(shard.PipelineConfig{OnEpoch: func(ep shard.Epoch) { rot(ep.Seq) }})
+//
+// where c is a sketch.Concurrent guarding sw. The hook is safe for
+// concurrent use (barriers may be taken from many goroutines) and dedupes
+// repeated sequence numbers, so idempotent barriers (Close after Flush)
+// do not double-rotate.
+func Rotator(every uint64, advance func()) func(seq uint64) {
+	if every < 1 {
+		every = 1
+	}
+	var (
+		mu      sync.Mutex
+		started bool
+		lastSeq uint64
+		seen    uint64
+	)
+	return func(seq uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if started && seq == lastSeq {
+			return
+		}
+		started = true
+		lastSeq = seq
+		seen++
+		if seen%every == 0 {
+			advance()
+		}
+	}
+}

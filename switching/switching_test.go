@@ -1,0 +1,544 @@
+package switching_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"robustsample/sketch"
+	"robustsample/switching"
+)
+
+const testUniverse = int64(4096)
+
+func testU(t testing.TB) sketch.Universe[int64] {
+	t.Helper()
+	u, err := sketch.NewInt64Universe(testUniverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// builders covers every sampler type the public surface exposes; the
+// differential law must hold for each of them.
+func builders() map[string]switching.Builder[int64] {
+	return map[string]switching.Builder[int64]{
+		"reservoir": func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+			return sketch.NewReservoir(u, 32, sketch.WithSeed(seed))
+		},
+		"reservoirL": func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+			return sketch.NewReservoirL(u, 32, sketch.WithSeed(seed))
+		},
+		"bernoulli": func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+			return sketch.NewBernoulli(u, 0.05, sketch.WithSeed(seed))
+		},
+		"weighted": func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+			return sketch.NewWeighted(u, 32, sketch.WithSeed(seed))
+		},
+	}
+}
+
+var builderOrder = []string{"reservoir", "reservoirL", "bernoulli", "weighted"}
+
+// testStream is a fixed pseudo-random stream over [1, testUniverse],
+// deterministic without consuming any sketch RNG.
+func testStream(n int, salt uint64) []int64 {
+	xs := make([]int64, n)
+	state := salt*0x9e3779b97f4a7c15 + 1
+	for i := range xs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		xs[i] = 1 + int64(state%uint64(testUniverse))
+	}
+	return xs
+}
+
+// feedChunked offers xs in fixed-size batches — the same chunking must be
+// used on both sides of a differential comparison, because Bernoulli's
+// batch path draws randomness differently from per-element offers.
+func feedChunked(t testing.TB, s sketch.Sketch[int64], xs []int64, chunk int) {
+	t.Helper()
+	for len(xs) > 0 {
+		m := min(chunk, len(xs))
+		if _, err := s.OfferBatch(xs[:m]); err != nil {
+			t.Fatalf("OfferBatch: %v", err)
+		}
+		xs = xs[m:]
+	}
+}
+
+// epochBounds splits n rounds into g contiguous epochs.
+func epochBounds(n, g int) [][2]int {
+	out := make([][2]int, g)
+	per := n / g
+	for i := range out {
+		lo := i * per
+		hi := lo + per
+		if i == g-1 {
+			hi = n
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// queryLadder is the verdict table the differential test pins: prefix
+// ranges at every 1/8 of the universe.
+func queryLadder() [][2]int64 {
+	var out [][2]int64
+	for i := int64(1); i <= 8; i++ {
+		out = append(out, [2]int64{1, i * testUniverse / 8})
+	}
+	return out
+}
+
+// TestDifferentialSerial pins the meta-sketch in deterministic mode
+// bit-identical to G independent serial sketches fed the same
+// epoch-partitioned stream: per-copy samples, the union view, and the
+// whole query ladder (verdict table) must agree exactly, for every sampler
+// type and G in {1, 2, 4, 8}.
+func TestDifferentialSerial(t *testing.T) {
+	u := testU(t)
+	const seed, n, chunk = 42, 4000, 137
+	for _, name := range builderOrder {
+		build := builders()[name]
+		for _, g := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/G=%d", name, g), func(t *testing.T) {
+				stream := testStream(n, uint64(g))
+				epochs := epochBounds(n, g)
+
+				sw, err := switching.New(u, g, build, switching.WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial := make([]sketch.Sketch[int64], g)
+				for i := range serial {
+					serial[i], err = build(u, switching.DeriveSeed(seed, i))
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				for e, b := range epochs {
+					xs := stream[b[0]:b[1]]
+					feedChunked(t, sw, xs, chunk)
+					feedChunked(t, serial[e], xs, chunk)
+					if e < g-1 {
+						if !sw.Advance() {
+							t.Fatalf("Advance exhausted at epoch %d of %d", e, g)
+						}
+					}
+				}
+
+				// Per-copy samples bit-identical to the standalone sketches.
+				var union []int64
+				for i := 0; i < g; i++ {
+					got, err := sw.CopyView(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := serial[i].View()
+					if !equalInt64(got, want) {
+						t.Fatalf("copy %d sample diverged:\n got %v\nwant %v", i, got, want)
+					}
+					r, err := sw.CopyRounds(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r != serial[i].Rounds() {
+						t.Fatalf("copy %d rounds %d, serial %d", i, r, serial[i].Rounds())
+					}
+					union = append(union, want...)
+				}
+
+				// Union view, length and total rounds.
+				if got := sw.View(); !equalInt64(got, union) {
+					t.Fatalf("union view diverged:\n got %v\nwant %v", got, union)
+				}
+				if sw.Len() != len(union) {
+					t.Fatalf("Len %d, want %d", sw.Len(), len(union))
+				}
+				if sw.Rounds() != n {
+					t.Fatalf("Rounds %d, want %d", sw.Rounds(), n)
+				}
+
+				// Verdict table: the query ladder must match the density of
+				// the manually assembled union, exactly.
+				for _, q := range queryLadder() {
+					got, err := sw.Query(q[0], q[1])
+					if len(union) == 0 {
+						if !errors.Is(err, sketch.ErrEmpty) {
+							t.Fatalf("Query on empty union: %v", err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := densityOf(union, q[0], q[1])
+					if got != want {
+						t.Fatalf("Query[%d,%d] = %v, want %v", q[0], q[1], got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func densityOf(sample []int64, lo, hi int64) float64 {
+	in := 0
+	for _, x := range sample {
+		if x >= lo && x <= hi {
+			in++
+		}
+	}
+	return float64(in) / float64(len(sample))
+}
+
+func TestNewValidation(t *testing.T) {
+	u := testU(t)
+	build := builders()["reservoir"]
+	if _, err := switching.New[int64](nil, 2, build); !errors.Is(err, sketch.ErrNilUniverse) {
+		t.Fatalf("nil universe: %v", err)
+	}
+	if _, err := switching.New(u, 0, build); !errors.Is(err, switching.ErrBadCopies) {
+		t.Fatalf("G=0: %v", err)
+	}
+	if _, err := switching.New(u, 2, nil); !errors.Is(err, switching.ErrNilBuilder) {
+		t.Fatalf("nil builder: %v", err)
+	}
+	if _, err := switching.New(u, 2, build, switching.WithMode(switching.Mode(42))); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	failing := func(sketch.Universe[int64], uint64) (sketch.Sketch[int64], error) {
+		return nil, errors.New("boom")
+	}
+	if _, err := switching.New(u, 2, failing); err == nil {
+		t.Fatal("failing builder accepted")
+	}
+	nilBuild := func(sketch.Universe[int64], uint64) (sketch.Sketch[int64], error) {
+		return nil, nil
+	}
+	if _, err := switching.New(u, 2, nilBuild); !errors.Is(err, sketch.ErrNilSketch) {
+		t.Fatalf("nil-returning builder: %v", err)
+	}
+	// A nil option is skipped, matching the sketch package's tolerance.
+	if _, err := switching.New(u, 2, build, nil, switching.WithSeed(7)); err != nil {
+		t.Fatalf("nil option: %v", err)
+	}
+}
+
+// TestPublishedFreeze pins the feedback-denial contract: the published
+// output never changes between Advances, no matter how much the active
+// copy's live sample moves.
+func TestPublishedFreeze(t *testing.T) {
+	u := testU(t)
+	sw, err := switching.New(u, 3, builders()["reservoir"], switching.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Published(); len(got) != 0 {
+		t.Fatalf("published non-empty before first Advance: %v", got)
+	}
+	if _, err := sw.QueryPublished(1, testUniverse); !errors.Is(err, sketch.ErrEmpty) {
+		t.Fatalf("QueryPublished before first Advance: %v", err)
+	}
+
+	feedChunked(t, sw, testStream(500, 1), 100)
+	if got := sw.Published(); len(got) != 0 {
+		t.Fatal("published moved without an Advance")
+	}
+	if !sw.Advance() {
+		t.Fatal("first Advance had no fresh copy")
+	}
+	frozen := sw.Published()
+	if len(frozen) == 0 {
+		t.Fatal("published empty after Advance over a fed copy")
+	}
+	d, err := sw.QueryPublished(1, testUniverse)
+	if err != nil || d != 1 {
+		t.Fatalf("QueryPublished full range = %v, %v", d, err)
+	}
+
+	feedChunked(t, sw, testStream(500, 2), 100)
+	if !equalInt64(sw.Published(), frozen) {
+		t.Fatal("published changed between Advances")
+	}
+
+	// Exhaustion: G=3 gives two fresh advances, then it stays on the last
+	// copy but keeps re-publishing.
+	if !sw.Advance() {
+		t.Fatal("second Advance had no fresh copy")
+	}
+	if sw.Remaining() != 0 || sw.Active() != 2 {
+		t.Fatalf("after 2 advances: active %d remaining %d", sw.Active(), sw.Remaining())
+	}
+	feedChunked(t, sw, testStream(500, 3), 100)
+	if sw.Advance() {
+		t.Fatal("Advance past the last copy claimed a fresh one")
+	}
+	if sw.Active() != 2 {
+		t.Fatalf("active moved past the last copy: %d", sw.Active())
+	}
+	if equalInt64(sw.Published(), frozen) {
+		t.Fatal("exhausted Advance did not re-publish")
+	}
+	if sw.G() != 3 || sw.Seed() != 7 || sw.Mode() != switching.ModeUnion {
+		t.Fatalf("accessors: G=%d seed=%d mode=%d", sw.G(), sw.Seed(), sw.Mode())
+	}
+}
+
+func TestModeActive(t *testing.T) {
+	u := testU(t)
+	sw, err := switching.New(u, 3, builders()["reservoir"], switching.WithSeed(9),
+		switching.WithMode(switching.ModeActive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Mode() != switching.ModeActive {
+		t.Fatalf("mode %d", sw.Mode())
+	}
+	feedChunked(t, sw, testStream(200, 4), 50)
+	sw.Advance()
+	feedChunked(t, sw, testStream(300, 5), 50)
+
+	active, err := sw.CopyView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.View(); !equalInt64(got, active) {
+		t.Fatalf("ModeActive view is not the active copy's:\n got %v\nwant %v", got, active)
+	}
+	if sw.Len() != len(active) {
+		t.Fatalf("ModeActive Len %d, want %d", sw.Len(), len(active))
+	}
+	// Rounds still counts the whole stream across copies.
+	if sw.Rounds() != 500 {
+		t.Fatalf("Rounds %d, want 500", sw.Rounds())
+	}
+	d, err := sw.Query(1, testUniverse)
+	if err != nil || d != 1 {
+		t.Fatalf("Query full range = %v, %v", d, err)
+	}
+	// Published in active mode freezes the active copy's sample.
+	sw.Advance()
+	pub := sw.Published()
+	want, _ := sw.CopyView(1)
+	if !equalInt64(pub, want) {
+		t.Fatalf("ModeActive published:\n got %v\nwant %v", pub, want)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	u := testU(t)
+	sw, err := switching.New(u, 2, builders()["reservoir"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Query(1, testUniverse); !errors.Is(err, sketch.ErrEmpty) {
+		t.Fatalf("empty query: %v", err)
+	}
+	if _, err := sw.Query(5, 2); !errors.Is(err, sketch.ErrBadRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := sw.Query(0, 5); !errors.Is(err, sketch.ErrOutOfUniverse) {
+		t.Fatalf("out of universe: %v", err)
+	}
+	if _, err := sw.QueryPublished(5, 2); !errors.Is(err, sketch.ErrBadRange) {
+		t.Fatalf("published inverted range: %v", err)
+	}
+	if _, err := sw.Offer(0); !errors.Is(err, sketch.ErrOutOfUniverse) {
+		t.Fatalf("offer out of universe: %v", err)
+	}
+	if _, err := sw.CopyView(2); !errors.Is(err, switching.ErrBadCopyIndex) {
+		t.Fatalf("CopyView(2): %v", err)
+	}
+	if _, err := sw.CopyRounds(-1); !errors.Is(err, switching.ErrBadCopyIndex) {
+		t.Fatalf("CopyRounds(-1): %v", err)
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	u := testU(t)
+	build := builders()["reservoir"]
+	mk := func(seed uint64) *switching.Sketch[int64] {
+		sw, err := switching.New(u, 3, build, switching.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+
+	a, b := mk(1), mk(2)
+	feedChunked(t, a, testStream(400, 10), 100)
+	a.Advance()
+	feedChunked(t, a, testStream(400, 11), 100)
+	feedChunked(t, b, testStream(400, 12), 100)
+	b.Advance()
+	feedChunked(t, b, testStream(400, 13), 100)
+	b.Advance()
+	feedChunked(t, b, testStream(400, 14), 100)
+
+	wantRounds := a.Rounds() + b.Rounds()
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds() != wantRounds {
+		t.Fatalf("merged rounds %d, want %d", a.Rounds(), wantRounds)
+	}
+	// Active advances to the later of the two.
+	if a.Active() != 2 {
+		t.Fatalf("merged active %d, want 2", a.Active())
+	}
+	// A merge re-publishes: the frozen output equals the merged view.
+	if !equalInt64(a.Published(), a.View()) {
+		t.Fatal("merge did not refresh the published output")
+	}
+
+	// Error cases.
+	plain, err := sketch.NewReservoir(u, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(plain); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Fatalf("cross-type merge: %v", err)
+	}
+	if err := a.MergeFrom(a); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Fatalf("self merge: %v", err)
+	}
+	g2, err := switching.New(u, 2, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(g2); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Fatalf("G mismatch: %v", err)
+	}
+	mActive, err := switching.New(u, 3, build, switching.WithMode(switching.ModeActive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(mActive); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Fatalf("mode mismatch: %v", err)
+	}
+	small, err := sketch.NewInt64Universe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := switching.New(small, 3, func(u sketch.Universe[int64], seed uint64) (sketch.Sketch[int64], error) {
+		return sketch.NewReservoir(u, 32, sketch.WithSeed(seed))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(other); !errors.Is(err, sketch.ErrIncompatible) {
+		t.Fatalf("universe mismatch: %v", err)
+	}
+
+	// A wrapped type that cannot merge surfaces its sentinel.
+	l1, err := switching.New(u, 2, builders()["reservoirL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := switching.New(u, 2, builders()["reservoirL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.MergeFrom(l2); !errors.Is(err, sketch.ErrUnsupportedMerge) {
+		t.Fatalf("reservoirL merge: %v", err)
+	}
+}
+
+// TestResetDeterminism pins Reset + refeed bit-identical to a fresh
+// meta-sketch — the reproducibility contract of the whole repository.
+func TestResetDeterminism(t *testing.T) {
+	u := testU(t)
+	build := builders()["reservoir"]
+	sw, err := switching.New(u, 4, build, switching.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := testStream(1000, 20)
+	feedChunked(t, sw, stream, 100)
+	sw.Advance()
+	feedChunked(t, sw, stream, 100)
+	sw.Reset()
+	if sw.Rounds() != 0 || sw.Active() != 0 || sw.PublishedLen() != 0 || sw.Len() != 0 {
+		t.Fatalf("reset left state: rounds=%d active=%d published=%d len=%d",
+			sw.Rounds(), sw.Active(), sw.PublishedLen(), sw.Len())
+	}
+
+	fresh, err := switching.New(u, 4, build, switching.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedChunked(t, sw, stream, 100)
+	feedChunked(t, fresh, stream, 100)
+	if !equalInt64(sw.View(), fresh.View()) {
+		t.Fatal("reset meta-sketch diverged from a fresh one on the same stream")
+	}
+	s1, err := sw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fresh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("reset and fresh meta-sketches serialize differently")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for root := uint64(0); root < 4; root++ {
+		for i := 0; i < 16; i++ {
+			s := switching.DeriveSeed(root, i)
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at root=%d i=%d", root, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRotator(t *testing.T) {
+	var fired int
+	rot := switching.Rotator(2, func() { fired++ })
+	rot(1)
+	rot(1) // duplicate sequence: deduped
+	rot(2)
+	if fired != 1 {
+		t.Fatalf("every=2 after seqs 1,1,2: fired %d, want 1", fired)
+	}
+	rot(3)
+	rot(4)
+	if fired != 2 {
+		t.Fatalf("after seqs ..3,4: fired %d, want 2", fired)
+	}
+
+	// every < 1 selects 1: fires on every distinct sequence.
+	fired = 0
+	rot = switching.Rotator(0, func() { fired++ })
+	rot(7)
+	rot(7)
+	rot(9)
+	if fired != 2 {
+		t.Fatalf("every=0 after seqs 7,7,9: fired %d, want 2", fired)
+	}
+}
