@@ -17,6 +17,7 @@
 //	benchdiff -new new.json                  # vs latest BENCH_PR*.json
 //	benchdiff -new new.json -baseline BENCH_PR6.json -tolerance 0.3
 //	benchdiff -new new.json -paths ConcurrentIngest,E5
+//	benchdiff -new new.json -hotpaths internal/lint/hotpathalloc/golden.txt
 //
 // Exit status: 0 when every gated comparison is within tolerance, 1 on
 // regression, 2 on usage errors.
@@ -30,10 +31,12 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"slices"
 	"strconv"
 	"strings"
 
 	"robustsample/internal/bench"
+	"robustsample/internal/lint/hotpathalloc"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 		dir       = flag.String("dir", ".", "directory searched for BENCH_PR*.json baselines")
 		paths     = flag.String("paths", "ConcurrentIngest,E5", "comma-separated gated entry names")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op regression fraction on gated paths")
+		hotpaths  = flag.String("hotpaths", "", "hot-path golden list (internal/lint/hotpathalloc/golden.txt) to cross-check bench= claims against the baseline names; warn-only")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -79,6 +83,11 @@ func main() {
 	fmt.Printf("benchdiff: baseline %s\n", basePath)
 	for _, line := range report {
 		fmt.Println(line)
+	}
+	if *hotpaths != "" {
+		for _, w := range crossCheckHotpaths(*hotpaths, base) {
+			fmt.Fprintf(os.Stderr, "benchdiff: warning: %s\n", w)
+		}
 	}
 	if regressed {
 		fmt.Println("benchdiff: FAIL — gated hot path regressed beyond tolerance")
@@ -146,6 +155,57 @@ func label(r bench.BenchResult) string {
 		return fmt.Sprintf("%s/P=%d", r.Name, r.Params.Producers)
 	}
 	return r.Name
+}
+
+// crossCheckHotpaths compares the hot-path golden list's bench= claims
+// against the baseline's entry names, both directions: a claimed name with
+// no baseline entry is stale (the benchmark was renamed or dropped while
+// the annotation kept claiming it), and a baseline name claimed by no
+// golden entry means a tracked perf curve has no registered hot path
+// backing it. Both are drift between the annotation layer and the perf
+// trajectory, reported as warnings only — naming hygiene must not block a
+// perf gate.
+func crossCheckHotpaths(path string, base []bench.BenchResult) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("hotpaths: %v", err)}
+	}
+	golden := hotpathalloc.ParseGolden(string(data))
+	baseNames := make(map[string]bool, len(base))
+	for _, r := range base {
+		baseNames[r.Name] = true
+	}
+	claimed := make(map[string][]string) // bench name -> claiming funcs
+	for fn, benches := range golden {
+		for _, b := range benches {
+			claimed[b] = append(claimed[b], fn)
+		}
+	}
+	var warns []string
+	for _, b := range sortedKeys(claimed) {
+		if !baseNames[b] {
+			fns := claimed[b]
+			slices.Sort(fns)
+			warns = append(warns, fmt.Sprintf("golden list claims bench %q (via %s) but the baseline has no entry with that name — stale claim?",
+				b, strings.Join(fns, ", ")))
+		}
+	}
+	for _, b := range sortedKeys(baseNames) {
+		if len(claimed[b]) == 0 {
+			warns = append(warns, fmt.Sprintf("baseline entry %q is claimed by no hot-path golden entry — register its hot path with a bench= suffix in %s",
+				b, path))
+		}
+	}
+	return warns
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // diff compares fresh gated entries against the baseline, returning the

@@ -1,0 +1,203 @@
+// Package atomicmix enforces the repo's atomic-access contract (DESIGN.md
+// "Concurrency contract"): once a struct field is accessed through
+// sync/atomic — the Pipeline.applied/routed/lost/epoch pattern — every
+// access must be atomic. A single plain read or write of such a field is a
+// data race the race detector only catches if a test happens to interleave
+// it; this analyzer catches it at compile time.
+//
+// Two checks per package:
+//
+//   - mixed access: a field passed by address to a sync/atomic function
+//     (Load/Store/Add/Swap/CompareAndSwap...) anywhere in the package must
+//     not be read or written plainly anywhere else in the package. A plain
+//     access that is provably race-free — in a constructor before the value
+//     is published, or under a full quiesce — is suppressed with
+//     //robust:atomic <reason>.
+//   - alignment: a 64-bit field used with a sync/atomic 64-bit function
+//     must be 64-bit aligned under 32-bit struct layout rules (first field,
+//     or preceded only by 8-byte-aligned fields) — the class of crash that
+//     only manifests on 386/arm. The typed atomic.Int64/Uint64 wrappers
+//     carry their own alignment and are exempt; they are also immune to
+//     mixed access by construction, so the analyzer's work is the legacy
+//     free-function pattern.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"robustsample/internal/lint"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed through sync/atomic must never be accessed plainly, and embedded 64-bit atomics must be alignment-safe",
+	Run:  run,
+}
+
+// atomicFns maps sync/atomic free functions to whether they operate on a
+// 64-bit value.
+var atomicFns = map[string]bool{
+	"LoadInt32": false, "LoadInt64": true, "LoadUint32": false, "LoadUint64": true,
+	"LoadUintptr": false, "LoadPointer": false,
+	"StoreInt32": false, "StoreInt64": true, "StoreUint32": false, "StoreUint64": true,
+	"StoreUintptr": false, "StorePointer": false,
+	"AddInt32": false, "AddInt64": true, "AddUint32": false, "AddUint64": true,
+	"AddUintptr": false,
+	"SwapInt32":  false, "SwapInt64": true, "SwapUint32": false, "SwapUint64": true,
+	"SwapUintptr": false, "SwapPointer": false,
+	"CompareAndSwapInt32": false, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": false, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": false, "CompareAndSwapPointer": false,
+}
+
+func run(pass *lint.Pass) error {
+	// Pass 1: find every field object that is the target of a sync/atomic
+	// free-function call, and every position of those calls (so pass 2 can
+	// exempt the atomic accesses themselves).
+	atomicFields := make(map[*types.Var]string) // field -> example op name
+	atomicArgPos := make(map[token.Pos]bool)    // &x.f positions inside atomic calls
+	align64 := make(map[*types.Var]token.Pos)   // 64-bit atomic fields to alignment-check
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicCallName(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld, ok := fieldOf(pass, sel)
+			if !ok {
+				return true
+			}
+			atomicFields[fld] = name
+			atomicArgPos[sel.Sel.Pos()] = true
+			if atomicFns[name] {
+				if _, seen := align64[fld]; !seen {
+					align64[fld] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other selector touching one of those fields is a plain
+	// access. Taking the field's address outside an atomic call is flagged
+	// too — an escaped address is how plain accesses sneak in.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld, ok := fieldOf(pass, sel)
+			if !ok {
+				return true
+			}
+			op, isAtomic := atomicFields[fld]
+			if !isAtomic || atomicArgPos[sel.Sel.Pos()] || pass.Suppressed(sel.Pos(), "atomic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic (%s) elsewhere in this package — every access must be atomic", fld.Name(), op)
+			return true
+		})
+	}
+
+	// Pass 3: 32-bit alignment of 64-bit atomic targets. The gc layout
+	// on 386/arm aligns uint64 fields to 4 bytes, so a 64-bit atomic on a
+	// misaligned field faults; the fix is moving it to the front of the
+	// struct (or using atomic.Uint64, which self-aligns).
+	sizes32 := types.SizesFor("gc", "386")
+	for fld, pos := range align64 {
+		st, idx := owningStruct(pass, fld)
+		if st == nil {
+			continue
+		}
+		var fields []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			fields = append(fields, st.Field(i))
+		}
+		offsets := sizes32.Offsetsof(fields)
+		if offsets[idx]%8 != 0 {
+			pass.Reportf(pos, "64-bit atomic on field %s at 32-bit offset %d: not 8-byte aligned on 386/arm — move it to the front of the struct or use atomic.%s", fld.Name(), offsets[idx], typedAtomicFor(fld))
+		}
+	}
+	return nil
+}
+
+// atomicCallName resolves call to a sync/atomic free function name.
+func atomicCallName(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, known := atomicFns[sel.Sel.Name]; !known {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// fieldOf resolves sel to a struct field object.
+func fieldOf(pass *lint.Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, false
+	}
+	return v, true
+}
+
+// owningStruct finds the struct type declaring fld and its field index, by
+// scanning the package's named types (and their unexported struct fields).
+func owningStruct(pass *lint.Pass, fld *types.Var) (*types.Struct, int) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return st, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// typedAtomicFor names the typed wrapper matching fld's 64-bit kind.
+func typedAtomicFor(fld *types.Var) string {
+	t := fld.Type().String()
+	if strings.Contains(t, "int64") && !strings.Contains(t, "uint64") {
+		return "Int64"
+	}
+	return "Uint64"
+}

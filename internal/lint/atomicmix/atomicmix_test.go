@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"robustsample/internal/lint/analysistest"
+	"robustsample/internal/lint/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmix/a")
+}

@@ -1,0 +1,41 @@
+// Package a is the atomicmix corpus: mixed plain/atomic field access and
+// 32-bit-misaligned 64-bit atomics are findings; //robust:atomic suppresses
+// a provably race-free plain access.
+package a
+
+import "sync/atomic"
+
+// Counter mixes access styles on n and carries a misaligned 64-bit field.
+type Counter struct {
+	pad int32
+	n   int64 // 64-bit atomic target at 32-bit offset 4
+	ok  int64 // accessed plainly only: no findings
+}
+
+// Aligned leads with its 64-bit atomic field, the safe layout.
+type Aligned struct {
+	n   int64
+	pad int32
+}
+
+func (c *Counter) Bump() {
+	atomic.AddInt64(&c.n, 1) // want `64-bit atomic on field n at 32-bit offset 4`
+}
+
+func (c *Counter) Mixed() int64 {
+	c.ok++
+	return c.n // want `plain access to field n`
+}
+
+// Reset runs before the counter is published; the plain store is race-free.
+func (c *Counter) Reset() {
+	c.n = 0 //robust:atomic pre-publication store in the constructor path
+}
+
+func (a *Aligned) Bump() {
+	atomic.AddInt64(&a.n, 1)
+}
+
+func (a *Aligned) Load() int64 {
+	return atomic.LoadInt64(&a.n)
+}

@@ -1,0 +1,120 @@
+// Package detsource enforces the determinism contract of DESIGN.md: in the
+// packages whose output is pinned bit-for-bit (samplers, set systems, the
+// sharded engine and serving runtime, and the public sketch surface), no
+// randomness or ordering may come from outside the split-seeded rng tree.
+//
+// In a determinism-contract package the analyzer forbids:
+//
+//   - time.Now and time.Since — wall-clock values reaching sampler or
+//     verdict state break replay; legitimate wall-clock uses (backoff
+//     deadlines, soak timers) must carry //robust:nondet <reason>.
+//   - importing math/rand, math/rand/v2 or crypto/rand — all randomness
+//     flows through internal/rng, whose root seed and Split/DeriveSeed
+//     derivation make every draw replayable; a direct rand.* call or seed
+//     bypasses that tree.
+//   - ranging over a map — iteration order is randomized per run, so any
+//     map-range whose effects reach deterministic state reorders it;
+//     order-insensitive folds must be annotated //robust:nondet with the
+//     argument for insensitivity.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"robustsample/internal/lint"
+)
+
+// ContractPackages lists the determinism-contract import paths (matched as
+// path suffixes so testdata corpora can reuse them). DESIGN.md's "Enforced
+// invariants" section documents the mapping.
+var ContractPackages = []string{
+	"robustsample/internal/rng",
+	"robustsample/internal/sampler",
+	"robustsample/internal/setsystem",
+	"robustsample/internal/shard",
+	"robustsample/internal/runtime",
+	"robustsample/sketch",
+	"robustsample/switching",
+	"robustsample/quantile",
+	"robustsample/topk",
+	"robustsample/shard",
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "global math/rand bypasses the rng split-seed tree",
+	"math/rand/v2": "math/rand/v2 bypasses the rng split-seed tree",
+	"crypto/rand":  "crypto/rand is nondeterministic by design",
+}
+
+// Analyzer is the detsource check.
+var Analyzer = &lint.Analyzer{
+	Name: "detsource",
+	Doc:  "forbid wall-clock reads, out-of-tree randomness, and map-range ordering in determinism-contract packages",
+	Run:  run,
+}
+
+// applies reports whether path is under the determinism contract. The
+// _test variant of a contract package is covered too: test helpers that
+// feed deterministic state are held to the same rules.
+func applies(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range ContractPackages {
+		if path == p || strings.HasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok && !pass.Suppressed(imp.Pos(), "nondet") {
+				pass.Reportf(imp.Pos(), "import of %s in determinism-contract package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := timeCall(pass, n); ok && !pass.Suppressed(n.Pos(), "nondet") {
+					pass.Reportf(n.Pos(), "time.%s in determinism-contract package: wall-clock values must not reach deterministic state (annotate //robust:nondet <reason> if this is a legitimate timer)", name)
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.Types[n.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !pass.Suppressed(n.Pos(), "nondet") {
+						pass.Reportf(n.Pos(), "map iteration order is randomized: a range over %s can reorder deterministic state (annotate //robust:nondet <reason> if the fold is order-insensitive)", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeCall reports whether call is time.Now or time.Since.
+func timeCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "time" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,15 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"robustsample/internal/lint/analysistest"
+	"robustsample/internal/lint/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, "testdata", detsource.Analyzer,
+		"robustsample/internal/sampler",
+		"example.com/free",
+	)
+}

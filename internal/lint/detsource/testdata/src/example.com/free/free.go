@@ -1,0 +1,14 @@
+// Package free is outside the determinism contract: the same constructs
+// must produce no findings.
+package free
+
+import "time"
+
+func Clock(counts map[int64]int) int64 {
+	_ = time.Now()
+	var sum int64
+	for k := range counts {
+		sum += k
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+// Package sampler is a detsource corpus: its import path suffix-matches the
+// determinism contract, so wall clocks, out-of-tree randomness and map
+// ranges are findings unless carrying //robust:nondet.
+package sampler
+
+import (
+	_ "math/rand" // want `import of math/rand in determinism-contract package`
+	"time"
+)
+
+// Bad trips every rule without suppression.
+func Bad(counts map[int64]int) int64 {
+	t := time.Now() // want `time.Now in determinism-contract package`
+	var sum int64
+	for k := range counts { // want `map iteration order is randomized`
+		sum += k
+	}
+	_ = time.Since(t) // want `time.Since in determinism-contract package`
+	return sum
+}
+
+// Suppressed shows each opt-out form: same line, and enclosing-function doc.
+func Suppressed(counts map[int64]int) int64 {
+	_ = time.Now() //robust:nondet backoff deadline only
+	var sum int64
+	//robust:nondet sum is order-insensitive
+	for k := range counts {
+		sum += k
+	}
+	return sum
+}
+
+//robust:nondet whole function is a wall-clock soak helper
+func SuppressedByDoc() time.Time {
+	return time.Now()
+}
+
+// sliceRange must not be confused with a map range.
+func sliceRange(xs []int64) int64 {
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"robustsample/internal/lint/analysistest"
+	"robustsample/internal/lint/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	old := hotpathalloc.Golden
+	hotpathalloc.Golden = hotpathalloc.ParseGolden(`
+# corpus golden list
+hotpath/a.Hot bench=HotIngest
+hotpath/a.(*state).Amortized
+hotpath/a.Outer.lane
+hotpath/a.Gone bench=E99
+`)
+	defer func() { hotpathalloc.Golden = old }()
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpath/a")
+}
+
+func TestParseGolden(t *testing.T) {
+	g := hotpathalloc.ParseGolden("# c\npkg.F bench=A,B\npkg.(*T).M\n\n")
+	if len(g) != 2 {
+		t.Fatalf("entries = %d, want 2", len(g))
+	}
+	if b := g["pkg.F"]; len(b) != 2 || b[0] != "A" || b[1] != "B" {
+		t.Fatalf("bench names = %v, want [A B]", b)
+	}
+	if b := g["pkg.(*T).M"]; len(b) != 0 {
+		t.Fatalf("bench names = %v, want none", b)
+	}
+}
+
+func TestRepoGoldenParses(t *testing.T) {
+	if len(hotpathalloc.Golden) == 0 {
+		t.Fatal("embedded golden.txt parsed to an empty list")
+	}
+	for name := range hotpathalloc.Golden {
+		if name == "" {
+			t.Fatal("embedded golden.txt contains an empty entry name")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package a is the hotpathalloc corpus: alloc-defeating constructs inside
+// //robust:hotpath functions, the //robust:alloc opt-out, and both
+// directions of the golden-list cross-check.
+package a // want `golden hot path hotpath/a.Gone is not annotated //robust:hotpath`
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+func helper() {}
+
+//robust:hotpath
+func Hot(xs []int64, s string) int64 {
+	defer helper()                    // want `defer in hot path Hot`
+	go helper()                       // want `go statement in hot path Hot`
+	f := func() int64 { return 1 }    // want `closure in hot path Hot`
+	scratch := make([]int64, len(xs)) // want `make in hot path Hot allocates per call`
+	scratch = append(scratch[:0], xs...)
+	other := append(scratch, 9) // want `append in hot path Hot whose result is not assigned back`
+	fmt.Println(other)          // want `fmt.Println in hot path Hot`
+	_ = s + "!"                 // want `string concatenation in hot path Hot`
+	_ = []byte(s)               // want `conversion string -> \[\]byte in hot path Hot`
+	sink(len(xs))               // want `boxes a concrete int into interface`
+	return f()
+}
+
+type state struct{ buf []int64 }
+
+// Amortized shows every sanctioned zero-alloc idiom: guarded grow-once
+// scratch, self-assigned append, and an audited defer.
+//
+//robust:hotpath
+func (st *state) Amortized(xs []int64) {
+	defer helper() //robust:alloc open-coded, required by the shutdown protocol
+	if cap(st.buf) < len(xs) {
+		st.buf = make([]int64, len(xs))
+	}
+	st.buf = append(st.buf[:0], xs...)
+}
+
+// Outer carries the router-lane pattern: the closure, not the function, is
+// the hot path, annotated at its assignment.
+func Outer() func(int) int {
+	//robust:hotpath
+	lane := func(x int) int { return 2 * x }
+	return lane
+}
+
+//robust:hotpath
+func Unregistered() {} // want `hot path hotpath/a.Unregistered is not registered`

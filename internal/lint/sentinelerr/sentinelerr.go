@@ -1,0 +1,140 @@
+// Package sentinelerr enforces the public error contract introduced in the
+// PR 4 API redesign: exported functions and methods of the module's public
+// packages never panic (Must* helpers are the one sanctioned panic surface)
+// and fail through the package's sentinel errors (ErrBadSnapshot,
+// ErrServing, ErrBackpressure, ...) so callers can errors.Is-match every
+// failure mode.
+//
+// Concretely, inside the body of an exported function of a public (non-
+// internal, non-main) package:
+//
+//   - panic(...) is a finding unless the function's name starts with Must
+//     or the call carries //robust:panics <reason> (the documented
+//     invariant-violation panics on undecodable retained samples).
+//   - errors.New(...) is a finding: an ad-hoc leaf error cannot be matched
+//     by callers. Define a package sentinel instead.
+//   - fmt.Errorf(...) without a %w verb is a finding for the same reason;
+//     with %w it wraps a matchable error and is the sanctioned way to add
+//     context to a sentinel.
+//
+// Package-level `var ErrX = errors.New(...)` declarations are outside
+// function bodies and are exactly the sentinel pattern this check drives
+// code toward.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"robustsample/internal/lint"
+)
+
+// Analyzer is the sentinelerr check.
+var Analyzer = &lint.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "exported functions of public packages must not panic and must fail through package sentinel errors",
+	Run:  run,
+}
+
+// applies reports whether the package is part of the module's public
+// surface. Test variants are exempt: tests panic via t.Fatal machinery and
+// build throwaway errors freely.
+func applies(pkg *types.Package) bool {
+	path := pkg.Path()
+	return !strings.Contains(path, "/internal/") &&
+		!strings.HasSuffix(path, "_test") &&
+		!strings.Contains(path, "/cmd/") &&
+		!strings.Contains(path, "/examples/") &&
+		pkg.Name() != "main"
+}
+
+func run(pass *lint.Pass) error {
+	if !applies(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue // the sanctioned panic surface
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltinPanic(pass, call):
+			if !pass.Suppressed(call.Pos(), "panics") {
+				pass.Reportf(call.Pos(), "%s is exported: it must return a sentinel error, not panic (rename to Must%s or annotate //robust:panics <reason> for a documented invariant violation)", fd.Name.Name, fd.Name.Name)
+			}
+		case isPkgCall(pass, call, "errors", "New"):
+			if !pass.Suppressed(call.Pos(), "panics") {
+				pass.Reportf(call.Pos(), "ad-hoc errors.New in exported %s: callers cannot errors.Is-match it — define a package sentinel (var Err... = errors.New) and wrap it", fd.Name.Name)
+			}
+		case isPkgCall(pass, call, "fmt", "Errorf"):
+			if !errorfWraps(call) && !pass.Suppressed(call.Pos(), "panics") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w in exported %s: the error is an unmatchable leaf — wrap a package sentinel with %%w", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinPanic reports whether call is the predeclared panic.
+func isBuiltinPanic(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isPkgCall reports whether call is pkg.name for the given stdlib package.
+func isPkgCall(pass *lint.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == pkgPath
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format literal contains a
+// %w verb (a non-literal format is treated as wrapping — it cannot be
+// checked statically and vet owns format-string correctness).
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	return strings.Contains(format, "%w")
+}

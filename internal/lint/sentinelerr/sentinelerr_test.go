@@ -1,0 +1,15 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"robustsample/internal/lint/analysistest"
+	"robustsample/internal/lint/sentinelerr"
+)
+
+func TestSentinelerr(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelerr.Analyzer,
+		"example.com/pub",
+		"example.com/internal/impl",
+	)
+}

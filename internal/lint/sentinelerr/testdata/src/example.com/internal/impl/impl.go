@@ -1,0 +1,12 @@
+// Package impl is internal: sentinelerr does not apply.
+package impl
+
+import "errors"
+
+func Panics(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+func AdHoc() error { return errors.New("fine here") }

@@ -1,0 +1,63 @@
+// Package pub is the sentinelerr corpus: a public (non-internal) package
+// whose exported functions must fail through sentinels, never panic.
+package pub
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package sentinel exported functions should wrap.
+var ErrBad = errors.New("pub: bad input")
+
+func Panics(n int) {
+	if n < 0 {
+		panic("negative") // want `Panics is exported: it must return a sentinel error, not panic`
+	}
+}
+
+func AdHoc(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want `ad-hoc errors.New in exported AdHoc`
+	}
+	return nil
+}
+
+func Leaf(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n) // want `fmt.Errorf without %w in exported Leaf`
+	}
+	return nil
+}
+
+// Wrapped is the sanctioned form: context around a matchable sentinel.
+func Wrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrBad, n)
+	}
+	return nil
+}
+
+// MustPositive is the sanctioned panic surface.
+func MustPositive(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Invariant documents its panic.
+//
+//robust:panics retained state was validated on admission; reaching this is corruption
+func Invariant(ok bool) {
+	if !ok {
+		panic("corrupted")
+	}
+}
+
+// unexported helpers may panic freely.
+func helper(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}

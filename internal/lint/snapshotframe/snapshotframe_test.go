@@ -1,0 +1,12 @@
+package snapshotframe_test
+
+import (
+	"testing"
+
+	"robustsample/internal/lint/analysistest"
+	"robustsample/internal/lint/snapshotframe"
+)
+
+func TestSnapshotframe(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotframe.Analyzer, "snap/a")
+}

@@ -1,0 +1,67 @@
+// Package a is the snapshotframe corpus: frame-kind collisions, unpaired
+// Snapshot/Restore, Restore without universe validation, the codec-pair and
+// universe-check opt-outs, and codec version pins.
+package a
+
+import "errors"
+
+const (
+	kindAlpha = 1
+	kindBeta  = 2
+	KindGamma = 2 // want `frame kind KindGamma = 2 collides with kindBeta`
+	notAKind  = 2
+
+	snapVersion  = 7
+	codecVersion = 9 // want `codec version codecVersion = 9 is not pinned`
+)
+
+var errBad = errors.New("a: bad snapshot")
+
+// Paired round-trips and validates through the annotated helper: no findings.
+type Paired struct{ pts []int64 }
+
+func (p *Paired) Snapshot() ([]byte, error) { return nil, nil }
+
+func (p *Paired) Restore(data []byte) error {
+	return p.validate(data)
+}
+
+//robust:universe-check
+func (p *Paired) validate(data []byte) error {
+	for _, b := range data {
+		if int64(b) < 1 {
+			return errBad
+		}
+	}
+	return nil
+}
+
+// Delegating discharges validation onto an inner Restore.
+type Delegating struct{ inner *Paired }
+
+func (d *Delegating) Snapshot() ([]byte, error) { return d.inner.Snapshot() }
+func (d *Delegating) Restore(data []byte) error { return d.inner.Restore(data) }
+
+// Orphan has no Restore.
+type Orphan struct{}
+
+func (o *Orphan) Snapshot() ([]byte, error) { return nil, nil } // want `Orphan has Snapshot but no Restore`
+
+// Sink has no Snapshot, and its Restore trusts the bytes blindly.
+type Sink struct{ pts []int64 }
+
+// want below fires twice: missing Snapshot, and no universe validation.
+func (s *Sink) Restore(data []byte) error { // want `Sink has Restore but no Snapshot` `Sink.Restore builds state without reaching universe validation`
+	s.pts = s.pts[:0]
+	for _, b := range data {
+		s.pts = append(s.pts, int64(b))
+	}
+	return nil
+}
+
+// Emitter's bytes are decoded by Paired.Restore; the cross-type pairing is
+// recorded with codec-pair.
+type Emitter struct{ p *Paired }
+
+//robust:codec-pair Paired.Restore accepts this format
+func (e *Emitter) Snapshot() ([]byte, error) { return e.p.Snapshot() }

@@ -1,0 +1,6 @@
+package a
+
+// The law-test pin for snapVersion; codecVersion deliberately has none.
+//
+//robust:codec-version 7
+var _ = snapVersion

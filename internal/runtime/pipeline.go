@@ -255,9 +255,11 @@ func (pr *Producer) Offer(x int64) error {
 // per shard, and each bucket enqueued with PushBatch. Elements bound for
 // the same shard keep their relative order (the bucketing is stable), which
 // is all the ordering live mode ever promises.
+//
+//robust:hotpath
 func (pr *Producer) OfferBatch(xs []int64) error {
 	pr.inFlight.Add(1)
-	defer pr.inFlight.Add(-1)
+	defer pr.inFlight.Add(-1) //robust:alloc open-coded defer (no closure, single site); required for crash-safe in-flight accounting on every exit path
 	if pr.closed.Load() || pr.p.closing.Load() {
 		return ErrClosed
 	}

@@ -322,7 +322,8 @@ func TestPipelineFreezeConsistentCut(t *testing.T) {
 func TestPipelineConfigValidation(t *testing.T) {
 	apply := func(int, []int64) {}
 	live := func(int, int64) int { return 0 }
-	for name, cfg := range map[string]Config{
+	for name, cfg := range map[string]Config{ //robust:nondet subtest table; each case is independent of order
+
 		"no shards":     {Shards: 0, Producers: 1, RouteLive: live, Apply: apply},
 		"no producers":  {Shards: 1, Producers: 0, RouteLive: live, Apply: apply},
 		"no apply":      {Shards: 1, Producers: 1, RouteLive: live},

@@ -66,6 +66,8 @@ func (r *Ring) Cap() int { return len(r.cells) }
 
 // Push enqueues x, reporting false when the ring is full. Safe for
 // concurrent use by any number of producers.
+//
+//robust:hotpath
 func (r *Ring) Push(x int64) bool {
 	pos := r.enq.Load()
 	for {
@@ -101,6 +103,8 @@ func (r *Ring) Push(x int64) bool {
 // published only after a popped cell's sequence number is recycled; a stale
 // read therefore only under-counts free slots, so every claimed cell is
 // guaranteed writable without per-cell sequence checks.
+//
+//robust:hotpath
 func (r *Ring) PushBatch(xs []int64) int {
 	if len(xs) == 0 {
 		return 0

@@ -286,14 +286,14 @@ func (p *Pipeline) TryWithShard(s int, wait time.Duration, fn func()) bool {
 		if wait <= 0 {
 			return false
 		}
-		deadline := time.Now().Add(wait)
+		deadline := time.Now().Add(wait) //robust:nondet lock-acquisition deadline only; never reaches sampler or verdict state
 		spin := 0
 		for {
 			idleWait(&spin)
 			if mu.TryLock() {
 				break
 			}
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //robust:nondet lock-acquisition deadline only; never reaches sampler or verdict state
 				return false
 			}
 		}

@@ -82,6 +82,8 @@ func (v *ReservoirL[T]) Offer(x T, r *rng.RNG) bool {
 // admission: the pending skip consumes a whole rejected stretch in one
 // subtraction, so the steady-state cost is O(1) per admission plus O(1)
 // per batch, not one branch per element.
+//
+//robust:hotpath
 func (v *ReservoirL[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	v.delta.clear()
 	n := len(xs)

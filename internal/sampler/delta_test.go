@@ -81,7 +81,8 @@ func checkDeltaAgainstShadow(t *testing.T, round int, s deltaViewer, shadow map[
 	if len(view) != len(shadow) {
 		t.Fatalf("round %d: shadow %v != view %v", round, shadow, view)
 	}
-	for v, c := range view {
+	for v, c := range view { //robust:nondet order-insensitive multiset equality check
+
 		if shadow[v] != c {
 			t.Fatalf("round %d: shadow %v != view %v", round, shadow, view)
 		}

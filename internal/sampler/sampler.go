@@ -81,6 +81,8 @@ func (b *Bernoulli[T]) Offer(x T, r *rng.RNG) bool {
 // The batch path consumes randomness differently from per-element Offer, so
 // for a fixed RNG the two select different (equally distributed) samples.
 // LastDelta afterwards reports the batch's admissions.
+//
+//robust:hotpath
 func (b *Bernoulli[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	b.delta.clear()
 	if len(xs) == 0 {
@@ -257,6 +259,8 @@ func (v *Reservoir[T]) offerOne(x T, r *rng.RNG) bool {
 // provably empties by the end of the batch and the generator finishes in
 // exactly the per-element state. Snapshots, merges, and chunking
 // invariance are therefore untouched by the bulk path.
+//
+//robust:hotpath
 func (v *Reservoir[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	v.delta.clear()
 	n := len(xs)
@@ -556,6 +560,8 @@ func (s *WithReplacement[T]) offerOne(x T, r *rng.RNG) bool {
 // refill of min(remaining, bulkDraws) values is always fully consumed by
 // the end of the batch and the generator lands in exactly the per-element
 // state — the same exact-drain argument as Reservoir.OfferBatch.
+//
+//robust:hotpath
 func (s *WithReplacement[T]) OfferBatch(xs []T, r *rng.RNG) int {
 	s.delta.clear()
 	n := len(xs)

@@ -315,6 +315,8 @@ func (a *Accumulator) AddStream(x int64) {
 // AddStreamBatch appends a run of consecutive stream elements. It is the
 // bulk-ingest form of AddStream used by the batched span loop of the
 // continuous game; semantically identical to calling AddStream in order.
+//
+//robust:hotpath
 func (a *Accumulator) AddStreamBatch(xs []int64) {
 	for _, x := range xs {
 		a.AddStream(x)
@@ -326,6 +328,8 @@ func (a *Accumulator) AddStreamBatch(xs []int64) {
 // index lookup instead of two. The continuous game uses it for spans where
 // the sampler admitted every element with no evictions (a filling
 // reservoir), which is where high-rate samplers spend most of their rounds.
+//
+//robust:hotpath
 func (a *Accumulator) AddStreamAndSampleBatch(xs []int64) {
 	for _, x := range xs {
 		s := a.slot(x)

@@ -176,7 +176,8 @@ func TestMergeFromAfterReset(t *testing.T) {
 func TestMergeFromValidation(t *testing.T) {
 	p := NewPrefixes(10)
 	a := p.NewAccumulator()
-	for name, f := range map[string]func(){
+	for name, f := range map[string]func(){ //robust:nondet subtest table; each case is independent of order
+
 		"nil source":        func() { a.MergeFrom(nil) },
 		"aliased source":    func() { a.MergeFrom(a) },
 		"mode mismatch":     func() { a.MergeFrom(NewIntervals(10).NewAccumulator()) },

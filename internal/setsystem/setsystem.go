@@ -151,7 +151,7 @@ func (s Singletons) MaxDiscrepancy(stream, sample []int64) Discrepancy {
 		// Every non-empty value witnesses its own stream density; the
 		// maximal one is the heaviest element (smallest such value).
 		values := make([]int64, 0, len(cx))
-		for v := range cx {
+		for v := range cx { //robust:nondet keys are sorted before use; collection order is irrelevant
 			values = append(values, v)
 		}
 		slices.Sort(values)
@@ -169,10 +169,10 @@ func (s Singletons) MaxDiscrepancy(stream, sample []int64) Discrepancy {
 		cs[x]++
 	}
 	values := make([]int64, 0, len(cx)+len(cs))
-	for v := range cx {
+	for v := range cx { //robust:nondet keys are sorted before use; collection order is irrelevant
 		values = append(values, v)
 	}
-	for v := range cs {
+	for v := range cs { //robust:nondet keys are sorted before use; collection order is irrelevant
 		if _, ok := cx[v]; !ok {
 			values = append(values, v)
 		}
@@ -362,7 +362,7 @@ func BruteMaxDiscrepancy(universe int64, stream, sample []int64) Discrepancy {
 		valueSet[v] = true
 	}
 	values := make([]int64, 0, len(valueSet))
-	for v := range valueSet {
+	for v := range valueSet { //robust:nondet keys are sorted before use; collection order is irrelevant
 		values = append(values, v)
 	}
 	slices.Sort(values)
@@ -391,8 +391,16 @@ func BrutePrefixDiscrepancy(universe int64, stream, sample []int64) Discrepancy 
 	for _, v := range sample {
 		valueSet[v] = true
 	}
+	// Sweep endpoints in ascending order: ranging over the map directly
+	// would randomize which endpoint wins a discrepancy tie, making the
+	// witness nondeterministic across runs.
+	values := make([]int64, 0, len(valueSet))
+	for v := range valueSet { //robust:nondet keys are sorted before the sweep; collection order is irrelevant
+		values = append(values, v)
+	}
+	slices.Sort(values)
 	best := Discrepancy{Lo: 1, Hi: 1}
-	for b := range valueSet {
+	for _, b := range values {
 		d := math.Abs(Density(stream, 1, b) - Density(sample, 1, b))
 		if d > best.Err {
 			best = Discrepancy{Err: d, Lo: 1, Hi: b}

@@ -29,6 +29,16 @@ func (a *Accumulator) AppendSnapshot(buf []byte) []byte {
 	return buf
 }
 
+// SampleCount returns the sample multiplicity of x, 0 if x was never seen.
+// Restore paths use it to cross-check a decoded accumulator against the
+// decoded sampler it must stay in lockstep with.
+func (a *Accumulator) SampleCount(x int64) int64 {
+	if s, ok := a.index.lookup(x); ok {
+		return a.cs[s]
+	}
+	return 0
+}
+
 // LoadSnapshot restores state written by AppendSnapshot into a, which must
 // have been built for the same set system (mode and universe are verified).
 // The accumulator is Reset first; on error it is left Reset.

@@ -214,6 +214,7 @@ func (e *Engine) liveRouter(s *Serving, producers int) (func(int, int64) int, fu
 		scalar := func(lane int, _ int64) int { return lanes[lane].r.Intn(S) }
 		m := uint64(S)
 		thresh := (-m) % m // Lemire rejection threshold, hoisted for the whole session
+		//robust:hotpath
 		batch := func(lane int, xs []int64, dst []int) {
 			l := lanes[lane]
 			n := len(dst)
@@ -245,6 +246,7 @@ func (e *Engine) liveRouter(s *Serving, producers int) (func(int, int64) int, fu
 	case HashByValue:
 		scalar := func(_ int, x int64) int { return r.Route(x, 0, S, nil) }
 		m := uint64(S)
+		//robust:hotpath
 		batch := func(_ int, xs []int64, dst []int) {
 			i := 0
 			// Groups of 8 with one bounds check per group: the full-slice
@@ -273,6 +275,7 @@ func (e *Engine) liveRouter(s *Serving, producers int) (func(int, int64) int, fu
 		scalar := func(_ int, _ int64) int {
 			return int((s.liveRound.Add(1) - 1) % int64(S))
 		}
+		//robust:hotpath
 		batch := func(_ int, xs []int64, dst []int) {
 			// One atomic add claims the whole ticket run.
 			n := int64(len(dst))

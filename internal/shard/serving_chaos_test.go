@@ -240,6 +240,8 @@ func TestServingChaosLiveBoundedLoss(t *testing.T) {
 // VerdictCovered/SampleCovered return within their wait bound over the
 // healthy subset, and Health answers lock-free — nothing blocks for the
 // stall's duration.
+//
+//robust:nondet wall-clock soak deadlines and latency bounds; none reach sampler or verdict state
 func TestServingChaosQueriesNeverBlock(t *testing.T) {
 	const stall = 300 * time.Millisecond
 	eng := chaosEngine(2, RoundRobin{}, 5)

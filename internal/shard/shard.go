@@ -213,6 +213,8 @@ func (e *Engine) Ingest(xs []int64) { e.OfferBatch(xs) }
 // OfferBatch is Ingest reporting how many elements entered some shard's
 // sample — the canonical bulk-ingest name, matching the public Sketch
 // contract.
+//
+//robust:hotpath
 func (e *Engine) OfferBatch(xs []int64) int {
 	for _, x := range xs {
 		e.rounds++
@@ -229,6 +231,7 @@ func (e *Engine) OfferBatch(xs []int64) int {
 		e.admitBuf = make([]int, len(e.shards))
 	}
 	admitted := e.admitBuf[:len(e.shards)]
+	//robust:alloc one closure per batch for the worker fan-out, amortized over the whole run
 	core.ForEachTrial(len(e.shards), e.cfg.Workers, func(i int) {
 		admitted[i] = e.flush(e.shards[i])
 	})

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"robustsample/internal/sampler"
 	"robustsample/internal/snapshot"
@@ -121,5 +122,37 @@ func loadShardBlock(r *snapshot.Reader, sh *shardState) error {
 	if err := sampler.LoadState(r, sh.sampler); err != nil {
 		return err
 	}
-	return sh.acc.LoadSnapshot(r)
+	if err := sh.acc.LoadSnapshot(r); err != nil {
+		return err
+	}
+	// Cross-validate the two independently-decoded halves: the accumulator
+	// mirrors the sampler element by element on the ingest path, so a
+	// snapshot whose sample multiset disagrees with the sampler's retained
+	// items (or whose stream length disagrees with the round count) would
+	// desynchronize them and panic on the first eviction of a phantom
+	// element. Each half validates internally; only the pair check catches
+	// bytes corrupted in just one of them.
+	if int64(sh.acc.StreamLen()) != shRounds {
+		return fmt.Errorf("shard: snapshot accumulator stream length %d does not match %d rounds: %w",
+			sh.acc.StreamLen(), shRounds, snapshot.ErrCorrupt)
+	}
+	items := sh.sampler.View()
+	if sh.acc.SampleLen() != len(items) {
+		return fmt.Errorf("shard: snapshot accumulator holds %d sample elements, sampler retains %d: %w",
+			sh.acc.SampleLen(), len(items), snapshot.ErrCorrupt)
+	}
+	sorted := slices.Clone(items)
+	slices.Sort(sorted)
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if sh.acc.SampleCount(sorted[i]) != int64(j-i) {
+			return fmt.Errorf("shard: snapshot sample multiset disagrees with sampler items at value %d: %w",
+				sorted[i], snapshot.ErrCorrupt)
+		}
+		i = j
+	}
+	return nil
 }

@@ -75,10 +75,10 @@ type PipelineConfig struct {
 func WithPipeline(cfg PipelineConfig) Option {
 	return func(c *config) error {
 		if cfg.Producers < 0 {
-			return fmt.Errorf("shard: negative producer count %d", cfg.Producers)
+			return fmt.Errorf("%w: negative producer count %d", ErrBadConfig, cfg.Producers)
 		}
 		if cfg.CheckpointEvery < 0 {
-			return fmt.Errorf("shard: negative checkpoint interval %d", cfg.CheckpointEvery)
+			return fmt.Errorf("%w: negative checkpoint interval %d", ErrBadConfig, cfg.CheckpointEvery)
 		}
 		c.pipeline = cfg
 		return nil
@@ -307,6 +307,8 @@ func (s *Serving[T]) ShardVerdict(i int) (Verdict[T], error) {
 
 // Sample returns a copy of the union sample, decoded, each shard read
 // behind its barrier.
+//
+//robust:panics retained points were validated on admission; an undecodable point is internal corruption, not caller error
 func (s *Serving[T]) Sample() []T {
 	ps := s.inner.Sample()
 	out := make([]T, len(ps))
@@ -350,6 +352,8 @@ func (s *Serving[T]) GlobalSample(k int) ([]T, error) {
 // of Engine.Snapshot. For a checkpoint covering everything offered — and,
 // in deterministic mode, a routing stream that replays bit-exactly — Flush
 // first and keep producers quiescent across the call.
+//
+//robust:codec-pair emits the Engine codec; Engine.Restore is the paired decoder
 func (s *Serving[T]) Snapshot() ([]byte, error) {
 	s.qmu.Lock()
 	hi, lo := s.e.coordRNG.State()

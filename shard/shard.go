@@ -61,6 +61,9 @@ var (
 	ErrServingClosed = errors.New("shard: serving session is closed")
 	// ErrBadProducer reports a producer lane index outside [0, Producers).
 	ErrBadProducer = errors.New("shard: producer lane index out of range")
+	// ErrBadConfig reports an out-of-range option value (negative worker,
+	// producer or checkpoint counts); the wrapping error names the field.
+	ErrBadConfig = errors.New("shard: invalid configuration")
 	// ErrBackpressure reports an OfferContext/OfferBatchContext whose ctx
 	// expired while the pipeline was applying backpressure (consumers not
 	// keeping up); the returned error also matches the ctx error.
@@ -220,7 +223,7 @@ func WithSystem(s System) Option {
 func WithWorkers(w int) Option {
 	return func(c *config) error {
 		if w < 0 {
-			return fmt.Errorf("shard: negative worker count %d", w)
+			return fmt.Errorf("%w: negative worker count %d", ErrBadConfig, w)
 		}
 		c.workers = w
 		return nil
@@ -494,6 +497,8 @@ func (e *Engine[T]) ShardVerdict(i int) (Verdict[T], error) {
 
 // Sample returns the union of the per-shard samples, decoded, in shard
 // order (behind the session's read barriers while serving).
+//
+//robust:panics retained points were validated on admission; an undecodable point is internal corruption, not caller error
 func (e *Engine[T]) Sample() []T {
 	var ps []int64
 	if s := e.srv.Load(); s != nil {

@@ -1,0 +1,18 @@
+package sketch
+
+import "testing"
+
+// TestCodecVersionPinned pins the snapshot codec version. The robustlint
+// snapshotframe analyzer requires the //robust:codec-version directive below
+// to match snapVersion, so bumping the codec version forces an edit here —
+// next to the statement of what a bump owes: the round-trip, rejection and
+// atomicity laws in sketch_test.go must be revisited for the new layout, and
+// a compatibility decision (accept-old or reject-old) must be made
+// explicitly in ReadFrameHeader.
+//
+//robust:codec-version 1
+func TestCodecVersionPinned(t *testing.T) {
+	if snapVersion != 1 {
+		t.Fatalf("snapVersion = %d; update the //robust:codec-version pin and revisit the snapshot laws before bumping", snapVersion)
+	}
+}

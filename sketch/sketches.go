@@ -130,6 +130,8 @@ func (b *base[T]) readSnapHeader(data []byte, kind byte) (r *snapshot.Reader, hi
 // carry sample points no Decode can invert, and without this check the
 // corruption would surface later as a View panic instead of an
 // ErrBadSnapshot at the restore boundary (found by FuzzSwitchingSnapshot).
+//
+//robust:universe-check
 func (b *base[T]) finishRestore(r *snapshot.Reader, hi, lo uint64, sample []int64) error {
 	if r.Len() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.Len())

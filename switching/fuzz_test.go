@@ -231,7 +231,8 @@ func TestRestoreRejections(t *testing.T) {
 	// Field-level corruption: mode, G, active and a published point.
 	// Offsets: header(6) + size(8) + seed(8) = 22; mode at 22, G at 30,
 	// active at 38, published length at 46, first published point at 54.
-	for name, off := range map[string]int{"mode": 22, "copies": 30, "active": 38, "published-point": 54} {
+	for name, off := range map[string]int{"mode": 22, "copies": 30, "active": 38, "published-point": 54} { //robust:nondet corruption-case table; each case is independent of order
+
 		mut := bytes.Clone(good)
 		for i := 0; i < 8 && off+i < len(mut); i++ {
 			mut[off+i] = 0xEE
@@ -239,7 +240,8 @@ func TestRestoreRejections(t *testing.T) {
 		cases["corrupt-"+name] = mut
 	}
 
-	for name, data := range cases {
+	for name, data := range cases { //robust:nondet rejection-case table; each case is independent of order
+
 		if err := sw.Restore(data); !errors.Is(err, sketch.ErrBadSnapshot) {
 			t.Errorf("%s: Restore = %v, want ErrBadSnapshot", name, err)
 		}

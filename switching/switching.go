@@ -43,6 +43,9 @@ var (
 	ErrNilBuilder = errors.New("switching: builder must be non-nil")
 	// ErrBadCopyIndex reports a copy index outside [0, G).
 	ErrBadCopyIndex = errors.New("switching: copy index out of range")
+	// ErrBadMode reports an unknown query mode; the wrapping error carries
+	// the rejected value.
+	ErrBadMode = errors.New("switching: unknown mode")
 )
 
 // Mode selects what View, Len and Query report.
@@ -87,7 +90,7 @@ func WithSeed(seed uint64) Option {
 func WithMode(m Mode) Option {
 	return func(c *config) error {
 		if m != ModeUnion && m != ModeActive {
-			return fmt.Errorf("switching: unknown mode %d", m)
+			return fmt.Errorf("%w %d", ErrBadMode, m)
 		}
 		c.mode = m
 		return nil
@@ -195,6 +198,8 @@ func (s *Sketch[T]) Offer(x T) (bool, error) { return s.copies[s.active].Offer(x
 
 // OfferBatch implements sketch.Sketch, feeding the active copy. The batch
 // is atomic against encoding errors, inherited from the wrapped sketch.
+//
+//robust:hotpath
 func (s *Sketch[T]) OfferBatch(xs []T) (int, error) { return s.copies[s.active].OfferBatch(xs) }
 
 // Advance freezes the published output at the current state and moves

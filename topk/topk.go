@@ -135,7 +135,8 @@ func (s *Summary[T]) Report(alpha float64) ([]T, error) {
 	}
 	cut := alpha - s.eps/3
 	points := make([]int64, 0, len(counts))
-	for p, c := range counts {
+	for p, c := range counts { //robust:nondet the passing points are sorted below; collection order is irrelevant
+
 		if float64(c)/float64(len(sample)) >= cut {
 			points = append(points, p)
 		}
