@@ -35,6 +35,7 @@ var packages = []struct{ path, dir string }{
 	{"robustsample/topk", "topk"},
 	{"robustsample/shard", "shard"},
 	{"robustsample/switching", "switching"},
+	{"robustsample/farm", "farm"},
 }
 
 func main() {

@@ -24,6 +24,7 @@
 //	robustbench -exp E19 -producers 1,2,4,8,16,32  # serving scaling curve
 //	robustbench -exp E20 -faults "seed=1,crash=0.01"  # self-healing chaos run
 //	robustbench -exp E21             # sketch-switching vs oversampling race
+//	robustbench -exp E22 -tenants 1000000 -tenantskew 1.2  # farm at one point
 //	robustbench -fig F1              # ASCII error-trajectory figures
 package main
 
@@ -43,7 +44,7 @@ import (
 func main() {
 	var (
 		all        = flag.Bool("all", false, "run every experiment")
-		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E21)")
+		exp        = flag.String("exp", "", "run one or more experiments by ID, comma-separated (E1..E22)")
 		fig        = flag.String("fig", "", "render a figure by ID (F1, F2)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "root RNG seed")
@@ -54,6 +55,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "shard count for the sharded experiment E18 (0 = sweep 1/2/4/8)")
 		producers  = flag.String("producers", "", "comma-separated producer-lane counts for the concurrent serving experiment E19, one measured point each (empty = sweep 1,2,4,8,16,32)")
 		faultSpec  = flag.String("faults", "", "fault-plan spec for the self-healing experiment E20, e.g. \"seed=1,crash=0.01,stall=0.005@2ms,corrupt=0.005\" (empty = sweep the default crash-rate ladder)")
+		tenants    = flag.Int("tenants", 0, "tenant count for the multi-tenant farm experiment E22 (0 = sweep the 1e3/1e5/1e6 ladder)")
+		tenantSkew = flag.Float64("tenantskew", 0, "Zipf exponent of E22's tenant id distribution (0 = reference skew 1.1)")
 		jsonPath   = flag.String("json", "", "also emit machine-readable benchmark measurements (name, ns/op, allocs/op, params) for the selected experiments to this file (\"-\" = stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -68,7 +71,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "robustbench: -producers: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: lanes, Faults: *faultSpec}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Shards: *shards, Producers: lanes, Faults: *faultSpec, Tenants: *tenants, TenantSkew: *tenantSkew}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -164,7 +167,9 @@ func parseIntList(s string) ([]int, error) {
 // curve (one ConcurrentIngest entry per lane count) is appended; when it
 // includes the self-healing experiment E20, the checkpoint-overhead curve
 // (ConcurrentIngestCkpt, same sweep with crash supervision on) is appended
-// too. A no-op when path is empty.
+// too; when it includes the farm experiment E22, the tenant-scaling curve
+// (one FarmIngest entry per tenant count) is appended as well. A no-op when
+// path is empty.
 func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int) {
 	if path == "" {
 		return
@@ -179,6 +184,12 @@ func emitJSON(path string, cfg bench.Config, exps []bench.Experiment, chunk int)
 	for _, e := range exps {
 		if e.ID == "E20" {
 			results = append(results, bench.MeasureConcurrentIngestCkpt(cfg)...)
+			break
+		}
+	}
+	for _, e := range exps {
+		if e.ID == "E22" {
+			results = append(results, bench.MeasureFarm(cfg)...)
 			break
 		}
 	}

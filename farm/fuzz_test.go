@@ -1,0 +1,143 @@
+package farm
+
+// Fuzz targets for the farm frame codecs. The invariants:
+//
+//   - Restore/RestoreTenant never panic, whatever the input.
+//   - A rejected frame reports ErrBadSnapshot.
+//   - An accepted frame yields a farm whose own snapshots are stable:
+//     Snapshot → Restore → Snapshot reproduces the bytes exactly, and the
+//     restored tenants survive queries and further offers (hydration of
+//     the decoded payload must not trip slab or sampler invariants).
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+func fuzzFarm(tb testing.TB) *Farm[int64] {
+	tb.Helper()
+	f, err := NewReservoirFarm(mustU(tb, 500), 8,
+		WithSeed(41), WithShards(4), WithMaxHotTenants(16), WithVerdicts(Prefixes))
+	if err != nil {
+		tb.Fatalf("fuzz farm: %v", err)
+	}
+	return f
+}
+
+// fuzzSeedSnapshot builds a populated farm and returns its frames to seed
+// the corpus with structurally valid inputs.
+func fuzzSeedSnapshot(tb testing.TB) (farmSnap, tenantSnap []byte) {
+	tb.Helper()
+	f := fuzzFarm(tb)
+	defer f.Close()
+	driver := rng.New(271828)
+	for it := 0; it < 120; it++ {
+		id := TenantID(driver.Intn(20) + 1)
+		batch := []int64{int64(driver.Intn(500)) + 1, int64(driver.Intn(500)) + 1}
+		if _, err := f.OfferBatch(id, batch); err != nil {
+			tb.Fatalf("seed offers: %v", err)
+		}
+	}
+	if err := f.Drop(3); err != nil {
+		tb.Fatalf("seed drop: %v", err)
+	}
+	farmSnap, err := f.Snapshot()
+	if err != nil {
+		tb.Fatalf("seed snapshot: %v", err)
+	}
+	tenantSnap, err = f.SnapshotTenant(5)
+	if err != nil {
+		tb.Fatalf("seed tenant snapshot: %v", err)
+	}
+	return farmSnap, tenantSnap
+}
+
+func FuzzFarmRestore(f *testing.F) {
+	snap, _ := fuzzSeedSnapshot(f)
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])
+	mut := append([]byte(nil), snap...)
+	mut[len(mut)/3] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := fuzzFarm(t)
+		defer fz.Close()
+		if err := fz.Restore(data); err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("Restore error is not ErrBadSnapshot: %v", err)
+			}
+			return
+		}
+		snap1, err := fz.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot after accepted restore: %v", err)
+		}
+		if err := fz.Restore(snap1); err != nil {
+			t.Fatalf("own snapshot rejected: %v", err)
+		}
+		snap2, err := fz.Snapshot()
+		if err != nil {
+			t.Fatalf("re-Snapshot: %v", err)
+		}
+		if !bytes.Equal(snap1, snap2) {
+			t.Fatal("snapshot round trip is unstable")
+		}
+		// Restored tenants must survive hydration: an offer pulls the
+		// decoded payload through the slab attach/detach path.
+		for id := TenantID(1); id <= 20; id++ {
+			if _, err := fz.Sample(id); err != nil &&
+				!errors.Is(err, ErrUnknownTenant) && !errors.Is(err, ErrTenantEvicted) {
+				t.Fatalf("Sample(%d) after restore: %v", id, err)
+			}
+			if _, err := fz.OfferBatch(id, []int64{1}); err != nil &&
+				!errors.Is(err, ErrTenantEvicted) {
+				t.Fatalf("OfferBatch(%d) after restore: %v", id, err)
+			}
+		}
+	})
+}
+
+func FuzzTenantRestore(f *testing.F) {
+	_, tsnap := fuzzSeedSnapshot(f)
+	f.Add(tsnap)
+	f.Add(tsnap[:len(tsnap)/2])
+	mut := append([]byte(nil), tsnap...)
+	mut[len(mut)-1] ^= 0x01
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := fuzzFarm(t)
+		defer fz.Close()
+		const id = TenantID(5)
+		if err := fz.RestoreTenant(id, data); err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("RestoreTenant error is not ErrBadSnapshot: %v", err)
+			}
+			return
+		}
+		snap1, err := fz.SnapshotTenant(id)
+		if err != nil {
+			t.Fatalf("SnapshotTenant after accepted restore: %v", err)
+		}
+		if err := fz.RestoreTenant(id, snap1); err != nil {
+			t.Fatalf("own tenant snapshot rejected: %v", err)
+		}
+		snap2, err := fz.SnapshotTenant(id)
+		if err != nil {
+			t.Fatalf("re-SnapshotTenant: %v", err)
+		}
+		if !bytes.Equal(snap1, snap2) {
+			t.Fatal("tenant snapshot round trip is unstable")
+		}
+		if _, err := fz.Sample(id); err != nil {
+			t.Fatalf("Sample after restore: %v", err)
+		}
+		if _, err := fz.OfferBatch(id, []int64{1}); err != nil {
+			t.Fatalf("OfferBatch after restore: %v", err)
+		}
+	})
+}

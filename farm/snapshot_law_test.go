@@ -1,0 +1,263 @@
+package farm
+
+// The three snapshot laws for the farm frame kinds, mirroring the module's
+// codec contract (DESIGN.md "Snapshot laws"):
+//
+//  1. Round trip: Restore(Snapshot()) reproduces the exact farm state —
+//     samples, rounds, tombstones, RNG continuity and verdict accumulators.
+//  2. Stability: snapshotting a freshly restored farm reproduces the
+//     original bytes bit for bit.
+//  3. Rejection: corrupt or truncated frames fail with ErrBadSnapshot and
+//     leave the receiver unchanged.
+//
+//robust:codec-version 1
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+// populate drives a deterministic mixed workload: many tenants, eviction
+// churn, one explicit eviction and one dropped tenant.
+func populate(t *testing.T, f *Farm[int64]) int {
+	t.Helper()
+	driver := rng.New(271828)
+	total := 0
+	for it := 0; it < 200; it++ {
+		id := TenantID(driver.Intn(30) + 1)
+		batch := make([]int64, driver.Intn(8)+1)
+		for i := range batch {
+			batch[i] = int64(driver.Intn(500)) + 1
+		}
+		if _, err := f.OfferBatch(id, batch); err != nil {
+			t.Fatalf("populate: %v", err)
+		}
+		total += len(batch)
+	}
+	if err := f.Evict(1); err != nil {
+		t.Fatalf("populate evict: %v", err)
+	}
+	if err := f.Drop(2); err != nil {
+		t.Fatalf("populate drop: %v", err)
+	}
+	return total
+}
+
+func lawFarm(t *testing.T, opts ...Option) *Farm[int64] {
+	t.Helper()
+	base := []Option{WithSeed(41), WithShards(4), WithMaxHotTenants(16), WithVerdicts(Prefixes)}
+	f, err := NewReservoirFarm(mustU(t, 500), 8, append(base, opts...)...)
+	if err != nil {
+		t.Fatalf("law farm: %v", err)
+	}
+	return f
+}
+
+// TestFarmSnapshotLaws exercises all three laws on the whole-farm frame.
+func TestFarmSnapshotLaws(t *testing.T) {
+	fa := lawFarm(t)
+	defer fa.Close()
+	populate(t, fa)
+
+	snap, err := fa.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	fb := lawFarm(t)
+	defer fb.Close()
+	if err := fb.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Law 2 first: a restored farm re-snapshots to identical bytes.
+	snap2, err := fb.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot: %v", err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Fatalf("re-snapshot differs: %d vs %d bytes", len(snap), len(snap2))
+	}
+
+	// Law 1: state equality, dropped-tenant tombstones included.
+	for id := TenantID(1); id <= 30; id++ {
+		sa, errA := fa.Sample(id)
+		sb, errB := fb.Sample(id)
+		if (errA == nil) != (errB == nil) || errors.Is(errA, ErrTenantEvicted) != errors.Is(errB, ErrTenantEvicted) {
+			t.Fatalf("tenant %d: err %v vs %v", id, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if len(sa) != len(sb) {
+			t.Fatalf("tenant %d: sample len %d vs %d", id, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("tenant %d: sample[%d] %d vs %d", id, i, sa[i], sb[i])
+			}
+		}
+		ra, _ := fa.Rounds(id)
+		rb, _ := fb.Rounds(id)
+		if ra != rb {
+			t.Fatalf("tenant %d: rounds %d vs %d", id, ra, rb)
+		}
+	}
+	if _, err := fb.Sample(2); !errors.Is(err, ErrTenantEvicted) {
+		t.Fatalf("restored tombstone: Sample(2) err %v", err)
+	}
+	va, err := fa.GlobalVerdict()
+	if err != nil {
+		t.Fatalf("verdict A: %v", err)
+	}
+	vb, err := fb.GlobalVerdict()
+	if err != nil {
+		t.Fatalf("verdict B: %v", err)
+	}
+	if va.Err != vb.Err || va.StreamLen != vb.StreamLen || va.SampleLen != vb.SampleLen {
+		t.Fatalf("verdicts diverge: %+v vs %+v", va, vb)
+	}
+
+	// RNG continuity: identical further offers keep the farms identical.
+	driver := rng.New(99)
+	for it := 0; it < 50; it++ {
+		id := TenantID(driver.Intn(30) + 1)
+		if id == 2 {
+			continue
+		}
+		batch := []int64{int64(driver.Intn(500)) + 1, int64(driver.Intn(500)) + 1}
+		admA, errA := fa.OfferBatch(id, batch)
+		admB, errB := fb.OfferBatch(id, batch)
+		if (errA == nil) != (errB == nil) || admA != admB {
+			t.Fatalf("post-restore offer diverges: tenant %d adm %d/%d err %v/%v", id, admA, admB, errA, errB)
+		}
+	}
+	for id := TenantID(1); id <= 30; id++ {
+		sa, errA := fa.Sample(id)
+		sb, errB := fb.Sample(id)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("tenant %d post-restore: err %v vs %v", id, errA, errB)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("tenant %d post-restore: sample[%d] %d vs %d", id, i, sa[i], sb[i])
+			}
+		}
+	}
+
+	// Law 3: every truncation is rejected and leaves the farm untouched.
+	fc := lawFarm(t)
+	defer fc.Close()
+	populate(t, fc)
+	before, err := fc.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot before rejection: %v", err)
+	}
+	step := len(snap)/97 + 1
+	for i := 0; i < len(snap); i += step {
+		if err := fc.Restore(snap[:i]); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("Restore(snap[:%d]) err %v, want ErrBadSnapshot", i, err)
+		}
+	}
+	// Header corruptions are rejected too.
+	for _, i := range []int{0, 4, 5, 6} {
+		bad := append([]byte(nil), snap...)
+		bad[i] ^= 0xff
+		if err := fc.Restore(bad); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("Restore(corrupt byte %d) err %v, want ErrBadSnapshot", i, err)
+		}
+	}
+	after, err := fc.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot after rejection: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected restores mutated the farm")
+	}
+
+	// Mismatched configuration is rejected.
+	fd, err := NewReservoirFarm(mustU(t, 500), 9, WithSeed(41), WithShards(4), WithVerdicts(Prefixes))
+	if err != nil {
+		t.Fatalf("mismatched farm: %v", err)
+	}
+	defer fd.Close()
+	if err := fd.Restore(snap); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("Restore into k=9 farm: err %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestTenantSnapshotLaws exercises the laws on the single-tenant frame,
+// migrating a tenant between farms.
+func TestTenantSnapshotLaws(t *testing.T) {
+	fa := lawFarm(t)
+	defer fa.Close()
+	populate(t, fa)
+
+	const id = TenantID(7)
+	snap, err := fa.SnapshotTenant(id)
+	if err != nil {
+		t.Fatalf("SnapshotTenant: %v", err)
+	}
+	fb := lawFarm(t)
+	defer fb.Close()
+	if err := fb.RestoreTenant(id, snap); err != nil {
+		t.Fatalf("RestoreTenant: %v", err)
+	}
+	snap2, err := fb.SnapshotTenant(id)
+	if err != nil {
+		t.Fatalf("re-SnapshotTenant: %v", err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Fatal("tenant re-snapshot differs")
+	}
+	sa, _ := fa.Sample(id)
+	sb, err := fb.Sample(id)
+	if err != nil {
+		t.Fatalf("Sample after restore: %v", err)
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("sample len %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample[%d] %d vs %d", i, sa[i], sb[i])
+		}
+	}
+	// Continued offers stay identical (RNG continuity through the frame).
+	for it := 0; it < 20; it++ {
+		batch := []int64{int64(it%500) + 1}
+		admA, errA := fa.OfferBatch(id, batch)
+		admB, errB := fb.OfferBatch(id, batch)
+		if admA != admB || (errA == nil) != (errB == nil) {
+			t.Fatalf("offer %d diverges: %d/%d %v/%v", it, admA, admB, errA, errB)
+		}
+	}
+
+	// A restore revives a dropped tenant — explicitly, never silently.
+	if err := fb.Drop(id); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if _, err := fb.Sample(id); !errors.Is(err, ErrTenantEvicted) {
+		t.Fatalf("dropped Sample err %v", err)
+	}
+	if err := fb.RestoreTenant(id, snap); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	if _, err := fb.Sample(id); err != nil {
+		t.Fatalf("Sample after revive: %v", err)
+	}
+
+	// Rejection: truncations and corrupt payload bytes.
+	for i := 0; i < len(snap); i += 3 {
+		if err := fb.RestoreTenant(id, snap[:i]); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("RestoreTenant(snap[:%d]) err %v, want ErrBadSnapshot", i, err)
+		}
+	}
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)-1] ^= 0x01 // corrupt the sample tail
+	if err := fb.RestoreTenant(id, bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("RestoreTenant(corrupt) err %v, want ErrBadSnapshot", err)
+	}
+}

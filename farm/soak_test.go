@@ -1,0 +1,184 @@
+package farm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+// TestFarmSoak hammers one farm with concurrent producers, queriers and a
+// background evictor, with a hot budget far below the tenant count so every
+// offer and query races lifecycle churn. Invariants checked:
+//
+//   - conservation: every element offered was applied exactly once —
+//     sum over tenants of Rounds == total offered == Stats().Offered;
+//   - eviction never races a live query into corrupt state: decoded
+//     samples stay inside the universe, queries never fail except for
+//     tenants that do not exist yet;
+//   - the race detector sees the full interleaving (CI runs this test
+//     under -race).
+func TestFarmSoak(t *testing.T) {
+	for _, kind := range []string{"reservoir", "bernoulli"} {
+		t.Run(kind, func(t *testing.T) {
+			soakOne(t, kind)
+		})
+	}
+}
+
+func soakOne(t *testing.T, kind string) {
+	const (
+		producers = 4
+		queriers  = 2
+		tenants   = 48
+		batches   = 250
+		uSize     = 1000
+	)
+	opts := []Option{
+		WithSeed(17), WithShards(8), WithMaxHotTenants(12), WithTTL(200),
+		WithSpillDir(t.TempDir()), WithVerdicts(Intervals),
+	}
+	var f *Farm[int64]
+	var err error
+	if kind == "reservoir" {
+		f, err = NewReservoirFarm(mustU(t, uSize), 16, opts...)
+	} else {
+		f, err = NewBernoulliFarm(mustU(t, uSize), 0.2, opts...)
+	}
+	if err != nil {
+		t.Fatalf("soak farm: %v", err)
+	}
+	defer f.Close()
+
+	var offered atomic.Int64
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	var produce sync.WaitGroup
+
+	// Background evictor: random explicit demotions plus TTL aging laps.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		r := rng.New(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := TenantID(r.Intn(tenants) + 1)
+			if err := f.Evict(id); err != nil && !errors.Is(err, ErrUnknownTenant) && !errors.Is(err, ErrTenantEvicted) {
+				t.Errorf("evict %d: %v", id, err)
+				return
+			}
+			f.EvictIdle()
+		}
+	}()
+
+	// Queriers: per-tenant and global reads racing the churn.
+	for q := 0; q < queriers; q++ {
+		churn.Add(1)
+		go func(q int) {
+			defer churn.Done()
+			r := rng.New(uint64(100 + q))
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := TenantID(r.Intn(tenants) + 1)
+				pts, err := f.Sample(id)
+				if err != nil && !errors.Is(err, ErrUnknownTenant) {
+					t.Errorf("sample %d: %v", id, err)
+					return
+				}
+				for _, x := range pts {
+					if x < 1 || x > uSize {
+						t.Errorf("sample %d: point %d outside universe", id, x)
+						return
+					}
+				}
+				if it%64 == 0 {
+					if _, _, err := f.GlobalSample(nil); err != nil {
+						t.Errorf("global sample: %v", err)
+						return
+					}
+					if _, err := f.GlobalVerdict(); err != nil && !errors.Is(err, ErrNoSample) {
+						t.Errorf("global verdict: %v", err)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+
+	// Producers: the last one drives the keyed Producer batch path, the
+	// rest per-tenant OfferBatch.
+	for pr := 0; pr < producers; pr++ {
+		produce.Add(1)
+		go func(pr int) {
+			defer produce.Done()
+			r := rng.New(uint64(1000 + pr))
+			if pr == producers-1 {
+				p := f.NewProducer()
+				ids := make([]TenantID, 16)
+				xs := make([]int64, 16)
+				for b := 0; b < batches; b++ {
+					for i := range ids {
+						ids[i] = TenantID(r.Intn(tenants) + 1)
+						xs[i] = int64(r.Intn(uSize)) + 1
+					}
+					if _, err := p.OfferBatch(ids, xs); err != nil {
+						t.Errorf("keyed producer: %v", err)
+						return
+					}
+					offered.Add(int64(len(ids)))
+				}
+				return
+			}
+			batch := make([]int64, 8)
+			for b := 0; b < batches; b++ {
+				id := TenantID(r.Intn(tenants) + 1)
+				n := r.Intn(8) + 1
+				for i := 0; i < n; i++ {
+					batch[i] = int64(r.Intn(uSize)) + 1
+				}
+				if _, err := f.OfferBatch(id, batch[:n]); err != nil {
+					t.Errorf("producer %d: %v", pr, err)
+					return
+				}
+				offered.Add(int64(n))
+			}
+		}(pr)
+	}
+
+	produce.Wait()
+	close(stop)
+	churn.Wait()
+	if t.Failed() {
+		return
+	}
+
+	total := offered.Load()
+	st := f.Stats()
+	if int64(st.Offered) != total {
+		t.Fatalf("Stats().Offered = %d, offered %d", st.Offered, total)
+	}
+	var rounds int64
+	for id := TenantID(1); id <= tenants; id++ {
+		n, err := f.Rounds(id)
+		if err != nil {
+			t.Fatalf("rounds %d: %v", id, err)
+		}
+		rounds += int64(n)
+	}
+	if rounds != total {
+		t.Fatalf("conservation: sum(Rounds) = %d, offered %d", rounds, total)
+	}
+	if st.Evictions == 0 || st.Hydrations == 0 {
+		t.Fatalf("soak produced no lifecycle churn: %+v", st)
+	}
+}

@@ -54,6 +54,14 @@ type Config struct {
 	// that single plan instead of sweeping the default crash-rate ladder.
 	// It affects only the E20 table.
 	Faults string
+	// Tenants pins the tenant count of the multi-tenant farm experiment
+	// (E22): 0 (the default) sweeps the reference ladder {1e3, 1e5, 1e6}
+	// (scaled by Scale); any other value measures that single point. It
+	// affects only the E22 table and the FarmIngest JSON curve.
+	Tenants int
+	// TenantSkew is the Zipf exponent of E22's tenant id distribution;
+	// 0 (the default) uses the reference skew 1.1.
+	TenantSkew float64
 }
 
 // DefaultConfig is the reference configuration for the DESIGN.md tables.
@@ -226,6 +234,7 @@ func All() []Experiment {
 		{"E19", "Concurrent serving runtime: pipeline determinism and throughput vs producers", ExpE19},
 		{"E20", "Self-healing serving: crash recovery and degraded-read availability under injected faults", ExpE20},
 		{"E21", "Sketch-switching ([BJWY20]) raced against oversampling and a naive static baseline", ExpE21},
+		{"E22", "Multi-tenant sketch farm: tenant density, keyed ingest throughput and hydration stalls", ExpE22},
 	}
 	slices.SortFunc(exps, func(a, b Experiment) int {
 		return cmp.Compare(expOrder(a.ID), expOrder(b.ID))

@@ -14,8 +14,8 @@ func quickCfg() Config {
 
 func TestAllExperimentsPresent(t *testing.T) {
 	exps := All()
-	if len(exps) != 21 {
-		t.Fatalf("have %d experiments, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("have %d experiments, want 22", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)

@@ -39,6 +39,15 @@ type BenchParams struct {
 	// supervision checkpoint interval the entry was measured at (0 or
 	// absent = supervision disabled).
 	Checkpoint int `json:"checkpoint,omitempty"`
+	// Tenants tags a FarmIngest entry with the tenant count it was measured
+	// at; TenantSkew with the Zipf exponent of its tenant id distribution.
+	Tenants    int     `json:"tenants,omitempty"`
+	TenantSkew float64 `json:"tenant_skew,omitempty"`
+	// TenantsPerGB is the farm's measured tenant density (populated-farm
+	// heap bytes per tenant, inverted); HydrateP99Ns the 99th-percentile
+	// hydration stall of the eviction-churn arm.
+	TenantsPerGB float64 `json:"tenants_per_gb,omitempty"`
+	HydrateP99Ns int64   `json:"hydrate_p99_ns,omitempty"`
 }
 
 // BenchResult is one machine-readable measurement: a full experiment run

@@ -1,0 +1,33 @@
+package runtime
+
+import "robustsample/internal/rng"
+
+// RouteHashBatch fills dst[i] = Mix64(uint64(keys[i])) % shards — the
+// batch lane of multiplicative-hash routing, shared by the sharded serving
+// engine's live HashByValue router and the farm's tenant-key routing. Keys
+// hash in unrolled groups of 8 with one bounds check per group: the
+// full-slice expressions pin both windows so the compiler drops the
+// per-element checks. The modulo must stay `% m` (not a fast-range
+// reduction) so batch destinations are exactly the scalar route's.
+// dst must be at least as long as keys.
+//
+//robust:hotpath
+func RouteHashBatch(keys []int64, dst []int, shards int) {
+	m := uint64(shards)
+	i := 0
+	for ; i+8 <= len(keys); i += 8 {
+		x := keys[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = int(rng.Mix64(uint64(x[0])) % m)
+		d[1] = int(rng.Mix64(uint64(x[1])) % m)
+		d[2] = int(rng.Mix64(uint64(x[2])) % m)
+		d[3] = int(rng.Mix64(uint64(x[3])) % m)
+		d[4] = int(rng.Mix64(uint64(x[4])) % m)
+		d[5] = int(rng.Mix64(uint64(x[5])) % m)
+		d[6] = int(rng.Mix64(uint64(x[6])) % m)
+		d[7] = int(rng.Mix64(uint64(x[7])) % m)
+	}
+	for ; i < len(keys); i++ {
+		dst[i] = int(rng.Mix64(uint64(keys[i])) % m)
+	}
+}

@@ -1,0 +1,44 @@
+package runtime
+
+import (
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+// TestRouteHashBatchMatchesScalar pins the batch lane to the scalar
+// multiplicative-hash route for every length mod 8, including the unrolled
+// groups and the tail.
+func TestRouteHashBatchMatchesScalar(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 100, 1023} {
+		for _, shards := range []int{1, 2, 7, 8, 64} {
+			keys := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(r.Uint64())
+			}
+			dst := make([]int, n)
+			RouteHashBatch(keys, dst, shards)
+			for i, k := range keys {
+				want := int(rng.Mix64(uint64(k)) % uint64(shards))
+				if dst[i] != want {
+					t.Fatalf("n=%d shards=%d: dst[%d]=%d want %d", n, shards, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkRouteHashBatch(b *testing.B) {
+	keys := make([]int64, 4096)
+	r := rng.New(1)
+	for i := range keys {
+		keys[i] = int64(r.Uint64())
+	}
+	dst := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RouteHashBatch(keys, dst, 16)
+	}
+	b.SetBytes(int64(len(keys) * 8))
+}

@@ -1,0 +1,149 @@
+package sampler
+
+import (
+	"testing"
+
+	"robustsample/internal/rng"
+)
+
+// TestReservoirFlatDifferential pins the farm's core guarantee: a sampler
+// cycled through AttachFlat/DetachFlat around every batch produces exactly
+// the state and randomness consumption of a standalone sampler.
+func TestReservoirFlatDifferential(t *testing.T) {
+	const k, n = 16, 5000
+	ref := NewReservoir[int64](k)
+	rRef := rng.New(7)
+	scratch := &Reservoir[int64]{K: k}
+	rFlat := rng.New(7)
+	storage := make([]int64, k)
+	words := make([]uint64, ReservoirFlatWords)
+
+	stream := rng.New(99)
+	buf := make([]int64, 0, 64)
+	for len(buf) == 0 || true {
+		buf = buf[:0]
+		sz := 1 + int(stream.Uint64()%37)
+		for j := 0; j < sz; j++ {
+			buf = append(buf, int64(stream.Uint64()%100000)+1)
+		}
+		wantAdm := ref.OfferBatch(buf, rRef)
+
+		scratch.AttachFlat(storage, words)
+		gotAdm := scratch.OfferBatch(buf, rFlat)
+		got := scratch.DetachFlat(words)
+
+		if wantAdm != gotAdm {
+			t.Fatalf("admitted diverged: %d vs %d", gotAdm, wantAdm)
+		}
+		if ref.Rounds() >= n {
+			if int(words[0]) != ref.Rounds() || int(words[1]) != ref.TotalAdmitted() || int(words[2]) != ref.Len() {
+				t.Fatalf("counters diverged: words=%v ref rounds=%d admitted=%d len=%d",
+					words, ref.Rounds(), ref.TotalAdmitted(), ref.Len())
+			}
+			for i, x := range ref.View() {
+				if got[i] != x {
+					t.Fatalf("sample diverged at %d: %d vs %d", i, got[i], x)
+				}
+			}
+			if h1, l1 := rRef.State(); true {
+				h2, l2 := rFlat.State()
+				if h1 != h2 || l1 != l2 {
+					t.Fatal("RNG state diverged: flat path consumed different randomness")
+				}
+			}
+			return
+		}
+	}
+}
+
+// TestBernoulliFlatDifferential is the Bernoulli analogue, including the
+// gap-skip counter that carries across batches.
+func TestBernoulliFlatDifferential(t *testing.T) {
+	const p, n = 0.01, 20000
+	ref := NewBernoulli[int64](p)
+	rRef := rng.New(11)
+	scratch := &Bernoulli[int64]{P: p}
+	rFlat := rng.New(11)
+	storage := make([]int64, 8) // deliberately tiny: exercises heap spill
+	words := make([]uint64, BernoulliFlatWords)
+
+	stream := rng.New(5)
+	buf := make([]int64, 0, 64)
+	for ref.Rounds() < n {
+		buf = buf[:0]
+		sz := 1 + int(stream.Uint64()%53)
+		for j := 0; j < sz; j++ {
+			buf = append(buf, int64(stream.Uint64()%100000)+1)
+		}
+		wantAdm := ref.OfferBatch(buf, rRef)
+
+		scratch.AttachFlat(storage, words)
+		gotAdm := scratch.OfferBatch(buf, rFlat)
+		got := scratch.DetachFlat(words)
+		if wantAdm != gotAdm {
+			t.Fatalf("admitted diverged: %d vs %d", gotAdm, wantAdm)
+		}
+		// Migrate to larger storage when the sample outgrew the slot — the
+		// size-class upgrade the farm performs.
+		if len(got) > cap(storage) {
+			storage = make([]int64, 2*len(got))
+		}
+		copy(storage, got)
+	}
+	if int(words[0]) != ref.Rounds() || int(words[3]) != ref.Len() {
+		t.Fatalf("counters diverged: words=%v ref rounds=%d len=%d", words, ref.Rounds(), ref.Len())
+	}
+	for i, x := range ref.View() {
+		if storage[i] != x {
+			t.Fatalf("sample diverged at %d", i)
+		}
+	}
+	h1, l1 := rRef.State()
+	h2, l2 := rFlat.State()
+	if h1 != h2 || l1 != l2 {
+		t.Fatal("RNG state diverged")
+	}
+}
+
+// TestFlatInterleavedTenants checks that one scratch sampler multiplexed
+// across several flat states cannot leak state between them: each flat
+// state evolves exactly like its own dedicated sampler.
+func TestFlatInterleavedTenants(t *testing.T) {
+	const k, tenants = 8, 5
+	refs := make([]*Reservoir[int64], tenants)
+	refRNGs := make([]*rng.RNG, tenants)
+	storages := make([][]int64, tenants)
+	wordss := make([][]uint64, tenants)
+	flatRNGs := make([]*rng.RNG, tenants)
+	for i := range refs {
+		refs[i] = NewReservoir[int64](k)
+		refRNGs[i] = rng.NewWithStream(3, uint64(i))
+		flatRNGs[i] = rng.NewWithStream(3, uint64(i))
+		storages[i] = make([]int64, k)
+		wordss[i] = make([]uint64, ReservoirFlatWords)
+	}
+	scratch := &Reservoir[int64]{K: k}
+	stream := rng.New(1)
+	buf := make([]int64, 0, 16)
+	for round := 0; round < 400; round++ {
+		tid := int(stream.Uint64() % tenants)
+		buf = buf[:0]
+		for j := 0; j <= int(stream.Uint64()%9); j++ {
+			buf = append(buf, int64(stream.Uint64()%999)+1)
+		}
+		refs[tid].OfferBatch(buf, refRNGs[tid])
+		scratch.AttachFlat(storages[tid], wordss[tid])
+		scratch.OfferBatch(buf, flatRNGs[tid])
+		scratch.DetachFlat(wordss[tid])
+	}
+	for i := range refs {
+		if int(wordss[i][2]) != refs[i].Len() || int(wordss[i][0]) != refs[i].Rounds() {
+			t.Fatalf("tenant %d counters diverged", i)
+		}
+		for j, x := range refs[i].View() {
+			if storages[i][j] != x {
+				t.Fatalf("tenant %d sample diverged at %d", i, j)
+			}
+		}
+	}
+}

@@ -245,30 +245,12 @@ func (e *Engine) liveRouter(s *Serving, producers int) (func(int, int64) int, fu
 		return scalar, batch
 	case HashByValue:
 		scalar := func(_ int, x int64) int { return r.Route(x, 0, S, nil) }
-		m := uint64(S)
 		//robust:hotpath
 		batch := func(_ int, xs []int64, dst []int) {
-			i := 0
-			// Groups of 8 with one bounds check per group: the full-slice
-			// expressions pin both windows so the compiler drops the
-			// per-element checks. The modulo must stay `% m` (not a
-			// fast-range reduction) so batch destinations are exactly
-			// Route's.
-			for ; i+8 <= len(xs); i += 8 {
-				x := xs[i : i+8 : i+8]
-				d := dst[i : i+8 : i+8]
-				d[0] = int(rng.Mix64(uint64(x[0])) % m)
-				d[1] = int(rng.Mix64(uint64(x[1])) % m)
-				d[2] = int(rng.Mix64(uint64(x[2])) % m)
-				d[3] = int(rng.Mix64(uint64(x[3])) % m)
-				d[4] = int(rng.Mix64(uint64(x[4])) % m)
-				d[5] = int(rng.Mix64(uint64(x[5])) % m)
-				d[6] = int(rng.Mix64(uint64(x[6])) % m)
-				d[7] = int(rng.Mix64(uint64(x[7])) % m)
-			}
-			for ; i < len(xs); i++ {
-				dst[i] = int(rng.Mix64(uint64(xs[i])) % m)
-			}
+			// The shared 8-wide group-hash lane; its modulo matches
+			// Route's exactly, so batch destinations are the scalar
+			// route's.
+			runtime.RouteHashBatch(xs, dst, S)
 		}
 		return scalar, batch
 	case RoundRobin:

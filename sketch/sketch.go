@@ -176,6 +176,10 @@ const (
 	FrameShard byte = 18
 	// FrameSwitching tags robustsample/switching meta-sketch snapshots.
 	FrameSwitching byte = 19
+	// FrameFarm tags robustsample/farm whole-farm snapshots.
+	FrameFarm byte = 20
+	// FrameFarmTenant tags robustsample/farm single-tenant snapshots.
+	FrameFarmTenant byte = 21
 )
 
 var snapMagic = [4]byte{'R', 'S', 'K', 'T'}
